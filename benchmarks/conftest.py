@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+The replay experiment (the §7.2 methodology) is expensive, so one run at
+the default benchmark scale is shared by the computation, bandwidth, and
+storage benches.  Tables are printed through ``capsys.disabled()`` so
+they appear in ``bench_output.txt`` alongside pytest-benchmark's timing
+tables.
+"""
+
+import pytest
+
+from repro.harness.experiments import proof_experiment, \
+    run_replay_experiment
+
+#: 1/500 of the paper's workload: ~780 prefixes, ~77 replay messages.
+BENCH_SCALE = 0.002
+BENCH_K = 10
+
+
+@pytest.fixture(scope="session")
+def replay():
+    return run_replay_experiment(scale=BENCH_SCALE, k=BENCH_K)
+
+
+@pytest.fixture(scope="session")
+def proofs(replay):
+    return proof_experiment(replay)
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print a table straight to the terminal, bypassing capture."""
+    def _emit(text):
+        with capsys.disabled():
+            print()
+            print(text)
+    return _emit

@@ -1,0 +1,78 @@
+"""E3 — §7.3 'MTT size': node census of a realistic MTT.
+
+The paper's MTT for AS 5's last commitment holds 22,333,767 nodes
+(389,653 prefix / 950,372 inner / 1,511,092 dummy / 19,482,650 bit) in
+about 137.5 MB.  We build a 1/100-scale tree, verify the structural slot
+identity, compare the composition, and project our construction to the
+paper's prefix count.
+"""
+
+import pytest
+
+from repro.harness.experiments import mtt_size_experiment
+from repro.harness.reporting import format_bytes, render_table
+from repro.mtt.stats import PAPER_CENSUS, PAPER_MTT_BYTES, \
+    slot_identity_holds
+
+N_PREFIXES = 3900  # ≈ 1/100 of 389,653 reachable prefixes
+K = 50             # the evaluation's 50 indifference classes
+
+
+@pytest.fixture(scope="module")
+def result():
+    return mtt_size_experiment(n_prefixes=N_PREFIXES, k=K)
+
+
+def test_mtt_size_census(benchmark, result, emit):
+    census = benchmark.pedantic(
+        lambda: mtt_size_experiment(n_prefixes=N_PREFIXES, k=K).census,
+        rounds=1, iterations=1)
+    projected = result.scaled_to_paper()
+    rows = [
+        ("prefix nodes", PAPER_CENSUS.prefix, census.prefix,
+         projected.prefix),
+        ("inner nodes", PAPER_CENSUS.inner, census.inner,
+         projected.inner),
+        ("dummy nodes", PAPER_CENSUS.dummy, census.dummy,
+         projected.dummy),
+        ("bit nodes", PAPER_CENSUS.bit, census.bit, projected.bit),
+        ("total", PAPER_CENSUS.total, census.total, projected.total),
+    ]
+    emit(render_table(
+        "§7.3 MTT size (k=50)",
+        ["node type", "paper", f"measured ({N_PREFIXES} prefixes)",
+         "projected to 389,653 prefixes"], rows))
+    assert slot_identity_holds(census)
+    # Shape: bit nodes dominate (one per prefix per class).
+    assert census.bit == N_PREFIXES * K
+    assert census.bit / census.total > 0.5
+    # Projection lands within 2x of the paper's total (prefix-length
+    # mixes differ; inner-node sharing depends on them).
+    assert 0.5 < projected.total / PAPER_CENSUS.total < 2.0
+
+
+def test_mtt_memory_estimate(benchmark, result, emit):
+    benchmark(result.census.estimated_bytes)
+    measured = result.census.estimated_bytes()
+    projected = result.scaled_to_paper().estimated_bytes()
+    emit(render_table(
+        "§7.3 MTT memory",
+        ["quantity", "paper", "projected (struct model)"],
+        [("MTT bytes", format_bytes(PAPER_MTT_BYTES),
+          format_bytes(projected)),
+         ("bytes/node", f"{PAPER_MTT_BYTES / PAPER_CENSUS.total:.1f}",
+          f"{measured / result.census.total:.1f}")]))
+    # Shape: same order of magnitude per node as the paper's compact
+    # C++ layout (≈6 B/node).
+    per_node = measured / result.census.total
+    assert 2.0 < per_node < 30.0
+
+
+def test_census_prediction_matches_construction(benchmark, result):
+    from repro.mtt.stats import predict_census
+    from repro.mtt.tree import Mtt
+    from repro.traces.workload import generate_prefixes
+    prefixes = generate_prefixes(500, seed=7)
+    built = benchmark(
+        lambda: Mtt.build({p: [1] * 5 for p in prefixes}).census())
+    assert predict_census(prefixes, 5) == built

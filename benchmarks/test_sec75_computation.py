@@ -1,0 +1,78 @@
+"""E8/E11 — §7.5 'Overhead: Computation'.
+
+Paper numbers for AS 5 over the 13-minute replay window: 634.5 s total
+recorder CPU, of which 9.75 s for 3,913 RSA-1024 signatures, 519 s for
+13 MTT labelings, 105.75 s other; NetReview would cost the same minus
+the MTT share — about 5× less.  Also: "89% of the current Internet ASes
+have five or fewer neighbors" (CAIDA), motivating the single-workstation
+deployment story.
+"""
+
+import pytest
+
+from repro.harness.reporting import render_table
+from repro.netsim.topology import caida_like_topology, \
+    share_with_degree_at_most
+
+PAPER = {
+    "signatures": 9.75,
+    "mtt": 519.0,
+    "other": 105.75,
+    "total": 634.5,
+}
+
+
+def test_cpu_breakdown(benchmark, replay, emit):
+    breakdown = benchmark.pedantic(replay.cpu_breakdown, rounds=1,
+                                   iterations=1)
+    total = replay.cpu_total()
+    rows = [
+        ("signatures (s)", PAPER["signatures"], breakdown["signatures"]),
+        ("MTT generation (s)", PAPER["mtt"], breakdown["mtt"]),
+        ("other (s)", PAPER["other"], breakdown["other"]),
+        ("total (s)", PAPER["total"], total),
+        ("signatures made", 3913, replay.signature_count),
+        ("commitments", 13, replay.commitments_made),
+        ("MTT share", f"{PAPER['mtt'] / PAPER['total']:.0%}",
+         f"{breakdown['mtt'] / total:.0%}"),
+    ]
+    emit(render_table(
+        f"§7.5 recorder CPU at AS 5 (replay period, scale "
+        f"{replay.scale}, k={replay.k})",
+        ["quantity", "paper", "measured"], rows))
+
+    # Shape: MTT generation dominates the recorder's CPU (paper: 82%).
+    assert breakdown["mtt"] > breakdown["signatures"]
+    assert breakdown["mtt"] / total > 0.5
+    # Commitment cadence matches the paper's (one per interval).
+    assert 10 <= replay.commitments_made <= 16
+
+
+def test_netreview_comparison(benchmark, replay, emit):
+    benchmark(replay.netreview_cpu)
+    spider = replay.cpu_total()
+    netreview = replay.netreview_cpu()
+    ratio = spider / netreview if netreview else float("inf")
+    emit(render_table(
+        "§7.5 SPIDeR vs NetReview CPU",
+        ["system", "paper", "measured (s)"],
+        [("SPIDeR", "634.5 s", spider),
+         ("NetReview (no MTT)", "≈115.5 s", netreview),
+         ("ratio", "≈5.5×", f"{ratio:.1f}x")]))
+    # Shape: SPIDeR costs a small multiple of NetReview; the entire
+    # difference is MTT generation.
+    assert ratio > 2.0
+    assert spider - netreview == pytest.approx(
+        replay.cpu_breakdown()["mtt"])
+
+
+def test_caida_degree_statistic(benchmark, emit):
+    topology = benchmark.pedantic(
+        lambda: caida_like_topology(n_ases=1000, seed=7),
+        rounds=1, iterations=1)
+    share = share_with_degree_at_most(topology, 5)
+    emit(render_table(
+        "§7.5 AS degree statistic (CAIDA substitute)",
+        ["quantity", "paper", "measured"],
+        [("ASes with ≤5 neighbors", "89%", f"{share:.0%}")]))
+    assert 0.80 <= share <= 0.97

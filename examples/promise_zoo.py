@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""The §3.2 promise catalogue, one VPref round each.
+
+Walks every promise family the paper grounds in operational practice —
+local-preference tiers, selective export, partial transit,
+prefer-customer, and path length with its favored-customer caveat —
+showing for each how routes classify, what an honest elector offers,
+and what gets detected when the promise is broken.
+
+Run:  python examples/promise_zoo.py
+"""
+
+from repro.bgp.policy import Relation
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import NULL_ROUTE, Route
+from repro.core import Behavior, local_pref_scheme, \
+    partial_transit_scheme, relation_scheme, \
+    relation_with_path_length_scheme, run_round, selective_export_scheme, \
+    total_order_promise
+from repro.crypto.keys import KeyRegistry, make_identity
+
+ELECTOR, P1, P2, CONSUMER = 5, 1, 2, 6
+PREFIX = Prefix.parse("203.0.113.0/24")
+JAPAN = Prefix.parse("43.0.0.0/8")
+
+registry = KeyRegistry()
+IDS = {asn: make_identity(asn, registry=registry, bits=512,
+                          seed=300 + asn)
+       for asn in (ELECTOR, P1, P2, CONSUMER)}
+
+
+def demo(title, scheme, routes, behavior=None, note=""):
+    result = run_round(
+        registry=registry, elector_identity=IDS[ELECTOR], scheme=scheme,
+        producer_identities={a: IDS[a] for a in routes},
+        producer_routes=routes,
+        consumer_identities={CONSUMER: IDS[CONSUMER]},
+        promises={CONSUMER: total_order_promise(scheme)},
+        behavior=behavior or Behavior(),
+    )
+    print(f"--- {title} ---")
+    if note:
+        print(f"    {note}")
+    for asn, route in sorted(routes.items()):
+        label = scheme.label_of(route)
+        print(f"    input from AS{asn}: {route}  ->  class {label!r}")
+    print(f"    consumer offered: {result.offers[CONSUMER]}")
+    if result.clean:
+        print("    verification: clean")
+    else:
+        for verdict in result.verdicts:
+            print(f"    verification: {verdict}")
+    print()
+    return result
+
+
+def main():
+    # 1. Local-preference tiers (Figure 2 row 1: 57 of 88 ASes).
+    scheme = local_pref_scheme([80, 100, 120])
+    demo("set local preference (three tiers, the survey's mode)",
+         scheme,
+         {P1: Route(prefix=PREFIX, as_path=(P1, 9), neighbor=P1,
+                    local_pref=120),
+          P2: Route(prefix=PREFIX, as_path=(P2, 9), neighbor=P2,
+                    local_pref=80)},
+         note="higher tier wins regardless of other attributes")
+
+    # 2. Selective export (rows 2-3): never export routes through AS 13.
+    scheme = selective_export_scheme(lambda r: not r.traverses(13))
+    demo("selective export (⊥ between the classes)",
+         scheme,
+         {P1: Route(prefix=PREFIX, as_path=(P1, 13, 9), neighbor=P1)},
+         note="the only input is not-for-export: honest offer is ⊥")
+
+    # 3. Partial transit: the consumer pays only for region routes.
+    scheme = partial_transit_scheme([JAPAN])
+    demo("partial transit ('routes to Japan only')",
+         scheme,
+         {P1: Route(prefix=Prefix.parse("43.1.2.0/24"),
+                    as_path=(P1, 9), neighbor=P1)},
+         note="in-region routes must be delivered; others must not")
+
+    # 4. Prefer customer (Gao-Rexford, two classes).
+    scheme = relation_scheme({P1: Relation.CUSTOMER, P2: Relation.PEER})
+    demo("prefer customer",
+         scheme,
+         {P1: Route(prefix=PREFIX, as_path=(P1, 9), neighbor=P1),
+          P2: Route(prefix=PREFIX, as_path=(P2, 9), neighbor=P2)})
+
+    # 5. Path length — and the favored-customer caveat: each relation
+    #    class splits by length, so a long customer route beating a
+    #    short peer route is *not* a violation of this promise...
+    scheme = relation_with_path_length_scheme(
+        {P1: Relation.CUSTOMER, P2: Relation.PEER}, max_length=4)
+    demo("relation + path length (the §3.2 caveat, kept honest)",
+         scheme,
+         {P1: Route(prefix=PREFIX, as_path=(P1, 8, 9), neighbor=P1),
+          P2: Route(prefix=PREFIX, as_path=(P2, 9), neighbor=P2)},
+         note="long customer route legitimately beats short peer route")
+
+    # ...but promising bare shortest-path while preferring the customer
+    # IS a violation, and gets caught:
+    from repro.core import path_length_scheme
+    scheme = path_length_scheme(4)
+    long_customer = Route(prefix=PREFIX, as_path=(P1, 8, 9),
+                          neighbor=P1)
+    short_peer = Route(prefix=PREFIX, as_path=(P2, 9), neighbor=P2)
+    result = demo("bare shortest-path promise + favored customer",
+                  scheme,
+                  {P1: long_customer, P2: short_peer},
+                  behavior=Behavior(
+                      choose=lambda i, p: long_customer,
+                      offer_override={CONSUMER: long_customer}),
+                  note="the elector prefers its customer anyway -> caught")
+    assert not result.clean
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: one VPref round for a single prefix (Figure 1's cast).
+
+Bob (AS 5) is the elector.  He receives candidate routes to a prefix
+from his upstream neighbors Charlie, Doris, and Eliot (ASes 1-3), picks
+one, and offers it to his downstream neighbor Alice (AS 6).  Bob has
+promised Alice that customer routes beat everything else.
+
+We run the protocol twice: once with Bob honest, once with Bob breaking
+his promise — and show that Alice detects the violation and obtains
+evidence that convinces an uninvolved third party, without ever seeing
+Bob's other routes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bgp.policy import Relation
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.core import Behavior, relation_scheme, run_round, \
+    total_order_promise, validate_pom
+from repro.crypto.keys import KeyRegistry, make_identity
+
+PREFIX = Prefix.parse("203.0.113.0/24")
+BOB = 5
+CHARLIE, DORIS, ELIOT = 1, 2, 3
+ALICE = 6
+
+
+def main():
+    # --- Setup: keys (the RPKI stand-in) and the promise. -------------
+    registry = KeyRegistry()
+    identities = {
+        asn: make_identity(asn, registry=registry, bits=512, seed=asn)
+        for asn in (BOB, CHARLIE, DORIS, ELIOT, ALICE)
+    }
+
+    # Bob's promise: customer routes > other routes > no route.
+    relations = {CHARLIE: Relation.CUSTOMER, DORIS: Relation.PEER,
+                 ELIOT: Relation.PEER}
+    scheme = relation_scheme(relations)
+    promise = total_order_promise(scheme)
+    print(f"Bob's promise to Alice: {promise}\n")
+
+    # --- The routes Bob's neighbors advertise. -------------------------
+    routes = {
+        CHARLIE: Route(prefix=PREFIX, as_path=(CHARLIE, 91),
+                       neighbor=CHARLIE),          # customer route
+        DORIS: Route(prefix=PREFIX, as_path=(DORIS, 92),
+                     neighbor=DORIS),              # peer route
+        ELIOT: Route(prefix=PREFIX, as_path=(ELIOT, 93, 94),
+                     neighbor=ELIOT),              # longer peer route
+    }
+
+    def one_round(behavior, label):
+        result = run_round(
+            registry=registry,
+            elector_identity=identities[BOB],
+            scheme=scheme,
+            producer_identities={a: identities[a] for a in routes},
+            producer_routes=routes,
+            consumer_identities={ALICE: identities[ALICE]},
+            promises={ALICE: promise},
+            behavior=behavior,
+        )
+        print(f"--- {label} ---")
+        print(f"Bob chose:        {result.chosen}")
+        print(f"Alice was offered: {result.offers[ALICE]}")
+        if result.clean:
+            print("Verification: clean — no AS detected anything.\n")
+        else:
+            for verdict in result.verdicts:
+                print(f"Detected: {verdict}")
+                if verdict.pom is not None:
+                    convinced = validate_pom(registry, scheme,
+                                             verdict.pom)
+                    print(f"  third party convinced by evidence: "
+                          f"{convinced}")
+            print()
+        return result
+
+    # --- Round 1: Bob keeps his promise. --------------------------------
+    one_round(Behavior(), "Bob is honest")
+
+    # --- Round 2: Bob offers Alice the peer route instead. -------------
+    cheating = Behavior(
+        choose=lambda inputs, promises: routes[DORIS],
+        offer_override={ALICE: routes[DORIS]},
+    )
+    result = one_round(cheating, "Bob breaks his promise")
+    assert not result.clean, "the violation must be detected"
+
+    # --- What Alice did NOT learn. --------------------------------------
+    print("Privacy note: in the honest round Alice saw only her own")
+    print("offer and 0-bit proofs for classes her promise ranks above")
+    print("it — nothing about Doris's or Eliot's routes existing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Selective export (§3.2): a never-export promise with ⊥ in the middle.
+
+A provider tags certain routes 'not for export'.  In VPref terms the
+route space splits into three indifference classes ordered
+
+    exportable-routes  >  ⊥ (no route)  >  excluded-routes
+
+so that (a) handing a consumer an excluded route breaks the promise
+(⊥ was available and strictly better), and (b) withholding an
+exportable route also breaks it (the route was strictly better than ⊥).
+The original sender can confirm its route was not exported; the
+recipient can be sure nothing it was entitled to was falsely excluded.
+
+Run:  python examples/selective_export.py
+"""
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import NULL_ROUTE, Route
+from repro.core import Behavior, run_round, selective_export_scheme, \
+    total_order_promise, validate_pom
+from repro.crypto.keys import KeyRegistry, make_identity
+
+PREFIX = Prefix.parse("198.51.100.0/24")
+ELECTOR, PRODUCER, CONSUMER = 5, 1, 6
+SECRET_AS = 13  # routes through AS 13 must never be exported
+
+
+def main():
+    registry = KeyRegistry()
+    identities = {
+        asn: make_identity(asn, registry=registry, bits=512,
+                           seed=100 + asn)
+        for asn in (ELECTOR, PRODUCER, CONSUMER)
+    }
+
+    scheme = selective_export_scheme(
+        lambda route: not route.traverses(SECRET_AS))
+    promise = total_order_promise(scheme)
+    print(f"Classes: {', '.join(scheme.labels)}")
+    print(f"Promise: {promise}\n")
+
+    secret_route = Route(prefix=PREFIX, as_path=(PRODUCER, SECRET_AS, 99),
+                         neighbor=PRODUCER)
+    public_route = Route(prefix=PREFIX, as_path=(PRODUCER, 98, 99),
+                         neighbor=PRODUCER)
+
+    def one_round(route, behavior, label):
+        result = run_round(
+            registry=registry, elector_identity=identities[ELECTOR],
+            scheme=scheme,
+            producer_identities={PRODUCER: identities[PRODUCER]},
+            producer_routes={PRODUCER: route},
+            consumer_identities={CONSUMER: identities[CONSUMER]},
+            promises={CONSUMER: promise},
+            behavior=behavior,
+        )
+        print(f"--- {label} ---")
+        print(f"input route:   {route}")
+        print(f"consumer got:  {result.offers[CONSUMER]}")
+        if result.clean:
+            print("verification:  clean\n")
+        else:
+            for verdict in result.verdicts:
+                note = ""
+                if verdict.pom is not None:
+                    note = (" [evidence accepted: "
+                            f"{validate_pom(registry, scheme, verdict.pom)}]")
+                print(f"verification:  {verdict}{note}")
+            print()
+        return result
+
+    # 1. A public route flows through normally.
+    one_round(public_route, Behavior(), "exportable route, honest")
+
+    # 2. An excluded route is correctly replaced by ⊥.
+    result = one_round(secret_route, Behavior(),
+                       "excluded route, honest (filtered)")
+    assert result.offers[CONSUMER] is NULL_ROUTE
+
+    # 3. The elector wrongly exports the excluded route: the consumer
+    #    holds a 1-proof for the ⊥ class, which its promise ranks above
+    #    what it received.
+    cheating = Behavior(
+        choose=lambda inputs, promises: secret_route,
+        offer_override={CONSUMER: secret_route},
+    )
+    result = one_round(secret_route, cheating,
+                       "excluded route, wrongly exported")
+    assert not result.clean
+
+    # 4. The elector suppresses a route the consumer was entitled to:
+    #    a 1-proof for the exportable class convicts it.
+    withholding = Behavior(offer_override={CONSUMER: NULL_ROUTE})
+    result = one_round(public_route, withholding,
+                       "exportable route, falsely excluded")
+    assert not result.clean
+
+
+if __name__ == "__main__":
+    main()

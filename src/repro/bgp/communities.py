@@ -1,0 +1,106 @@
+"""BGP communities (RFC 1997) and the community actions from Figure 2.
+
+A community is a 32-bit tag conventionally written ``asn:value``.  The paper
+(Section 3) motivates promises with the four community-triggered actions
+that the onesc.net survey found ASes publicly support: setting local
+preference, selective export by neighbor group, selective export by specific
+AS, and annotating route origin.  This module models those actions so the
+policy engine (:mod:`repro.bgp.policy`) and the workload generator can use
+them, and so E1 (Figure 2) can be regenerated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+# Well-known communities (RFC 1997).
+NO_EXPORT = (0xFFFF, 0xFF01)
+NO_ADVERTISE = (0xFFFF, 0xFF02)
+NO_EXPORT_SUBCONFED = (0xFFFF, 0xFF03)
+
+Community = Tuple[int, int]
+
+
+def community(asn: int, value: int) -> Community:
+    """Build an ``asn:value`` community tag, validating both halves."""
+    if not 0 <= asn <= 0xFFFF:
+        raise ValueError(f"community AS part {asn} out of range")
+    if not 0 <= value <= 0xFFFF:
+        raise ValueError(f"community value part {value} out of range")
+    return (asn, value)
+
+
+def parse_community(text: str) -> Community:
+    """Parse ``"asn:value"``."""
+    asn_part, sep, value_part = text.partition(":")
+    if not sep:
+        raise ValueError(f"malformed community {text!r}")
+    return community(int(asn_part), int(value_part))
+
+
+def format_community(tag: Community) -> str:
+    return f"{tag[0]}:{tag[1]}"
+
+
+def encode_community(tag: Community) -> bytes:
+    """Canonical 4-byte encoding used when hashing/signing routes."""
+    return tag[0].to_bytes(2, "big") + tag[1].to_bytes(2, "big")
+
+
+class ActionKind(enum.Enum):
+    """The four categories of community action surveyed in Figure 2."""
+
+    SET_LOCAL_PREF = "set_local_pref"
+    SELECTIVE_EXPORT_GROUP = "selective_export_by_neighbor_group"
+    SELECTIVE_EXPORT_AS = "selective_export_by_specific_as"
+    ROUTE_ORIGIN_INFO = "information_about_route_origin"
+
+
+@dataclass(frozen=True)
+class CommunityAction:
+    """Something an AS does when it sees a given community on import/export.
+
+    ``parameter`` depends on the kind:
+
+    * ``SET_LOCAL_PREF`` — the local-preference value to assign;
+    * ``SELECTIVE_EXPORT_GROUP`` — the neighbor-group name to suppress
+      export to (e.g. ``"peers"``);
+    * ``SELECTIVE_EXPORT_AS`` — the specific AS number to suppress export
+      to;
+    * ``ROUTE_ORIGIN_INFO`` — an opaque origin label the AS attaches on
+      export (informational; it never changes route selection).
+    """
+
+    tag: Community
+    kind: ActionKind
+    parameter: object
+
+    def __post_init__(self):
+        if self.kind is ActionKind.SET_LOCAL_PREF:
+            if not isinstance(self.parameter, int):
+                raise TypeError("SET_LOCAL_PREF parameter must be an int")
+        elif self.kind is ActionKind.SELECTIVE_EXPORT_GROUP:
+            if not isinstance(self.parameter, str):
+                raise TypeError("group parameter must be a string")
+        elif self.kind is ActionKind.SELECTIVE_EXPORT_AS:
+            if not isinstance(self.parameter, int):
+                raise TypeError("AS parameter must be an int")
+
+
+def local_pref_tiers(asn: int, tiers: Tuple[int, ...],
+                     base_value: int = 100) -> Tuple[CommunityAction, ...]:
+    """Build a SET_LOCAL_PREF action ladder like real AS community menus.
+
+    ``tiers`` lists the local-preference values offered (e.g. ``(80, 100,
+    120)`` for a three-tier menu, the survey's modal configuration).  Tag
+    values start at ``base_value`` and increment.
+    """
+    if not tiers:
+        raise ValueError("at least one tier is required")
+    return tuple(
+        CommunityAction(tag=community(asn, base_value + i),
+                        kind=ActionKind.SET_LOCAL_PREF, parameter=pref)
+        for i, pref in enumerate(tiers)
+    )

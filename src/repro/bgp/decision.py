@@ -1,0 +1,111 @@
+"""The BGP best-route decision process.
+
+Section 3 of the paper: "BGP best-route selection is carried out on the
+basis of routes' attributes ... The decision procedure is lexicographic,
+beginning with the local preference attribute and proceeding down a chain
+of tie-breakers as necessary."
+
+The chain implemented here is the standard one at AS granularity:
+
+1. highest LOCAL_PREF;
+2. shortest AS_PATH;
+3. lowest ORIGIN (IGP < EGP < INCOMPLETE);
+4. lowest MED, compared only between routes from the same neighboring AS;
+5. oldest route (stability tie-break, optional — disabled by default so
+   decisions are a pure function of route attributes);
+6. lowest router ID;
+7. lowest neighbor AS number (final deterministic tie-break).
+
+The result is a total order for any fixed candidate set, which is what lets
+VPref treat the decision as choosing the maximum of a total preference
+order (Definition 1).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .route import Route
+
+
+def _med_groups(candidates: Sequence[Route]) -> Dict[int, int]:
+    """Lowest MED per neighbor AS, for step 4 of the decision chain."""
+    best: Dict[int, int] = {}
+    for route in candidates:
+        current = best.get(route.neighbor)
+        if current is None or route.med < current:
+            best[route.neighbor] = route.med
+    return best
+
+
+def preference_key(route: Route) -> Tuple:
+    """Sort key implementing steps 1-3 and 6-7 (higher sorts first).
+
+    MED (step 4) cannot be expressed as a per-route key because it is only
+    comparable within a neighbor group; :func:`best_route` applies it as a
+    filtering pass.
+    """
+    return (
+        route.local_pref,            # higher wins
+        -route.path_length,          # shorter wins
+        -int(route.origin),          # lower origin wins
+        -route.router_id,            # lower wins
+        -route.neighbor,             # lower wins
+    )
+
+
+def best_route(candidates: Iterable[Route]) -> Optional[Route]:
+    """Run the decision process; None when no candidate survives.
+
+    Candidates must all target the same prefix (checked) and are assumed to
+    have passed import policy already.
+    """
+    routes = list(candidates)
+    if not routes:
+        return None
+    prefixes = {r.prefix for r in routes}
+    if len(prefixes) != 1:
+        raise ValueError(
+            f"decision process ran on mixed prefixes: {sorted(map(str, prefixes))}"
+        )
+
+    # Steps 1-3: keep only routes maximal under (local_pref, path, origin).
+    coarse_key = lambda r: (r.local_pref, -r.path_length, -int(r.origin))
+    top = max(coarse_key(r) for r in routes)
+    survivors = [r for r in routes if coarse_key(r) == top]
+
+    # Step 4: within each neighbor-AS group, keep the lowest MED.
+    med_best = _med_groups(survivors)
+    survivors = [r for r in survivors if r.med == med_best[r.neighbor]]
+
+    # Steps 6-7: deterministic tie-break.
+    return max(survivors, key=preference_key)
+
+
+def rank(candidates: Iterable[Route]) -> List[Route]:
+    """All candidates ordered best-first under the decision process.
+
+    Implemented by repeatedly extracting the winner, so the ordering is
+    exactly the order in which routes would be chosen as earlier ones are
+    withdrawn; this matters because MED comparisons are not transitive
+    across neighbor groups.
+    """
+    remaining = list(candidates)
+    ordered: List[Route] = []
+    while remaining:
+        winner = best_route(remaining)
+        ordered.append(winner)
+        remaining.remove(winner)
+    return ordered
+
+
+def compare(a: Route, b: Route) -> int:
+    """Pairwise comparison: positive if ``a`` is preferred over ``b``."""
+    winner = best_route([a, b])
+    if winner == a and winner == b:
+        return 0
+    return 1 if winner == a else -1
+
+
+total_preference = functools.cmp_to_key(compare)

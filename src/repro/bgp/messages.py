@@ -1,0 +1,63 @@
+"""BGP UPDATE messages (announcements and withdrawals).
+
+At the AS level of abstraction an UPDATE either announces one route for a
+prefix or withdraws the sender's route for a prefix.  These are the plain
+(unsigned) messages the BGP substrate exchanges; SPIDeR wraps them in
+signed, timestamped envelopes (:mod:`repro.spider.wire`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .prefix import Prefix
+from .route import Route
+
+
+@dataclass(frozen=True)
+class Announce:
+    """``sender`` announces ``route`` (already prepended) to ``receiver``."""
+
+    sender: int
+    receiver: int
+    route: Route
+
+    @property
+    def prefix(self) -> Prefix:
+        return self.route.prefix
+
+    def wire_size(self) -> int:
+        """Approximate on-the-wire size in bytes (BGP header ≈ 23)."""
+        return 23 + len(self.route.to_bytes())
+
+    def __str__(self) -> str:
+        return f"ANNOUNCE {self.sender}->{self.receiver}: {self.route}"
+
+
+@dataclass(frozen=True)
+class Withdraw:
+    """``sender`` withdraws its route for ``prefix`` from ``receiver``."""
+
+    sender: int
+    receiver: int
+    prefix: Prefix
+
+    def wire_size(self) -> int:
+        return 23 + 5
+
+    def __str__(self) -> str:
+        return f"WITHDRAW {self.sender}->{self.receiver}: {self.prefix}"
+
+
+Update = Union[Announce, Withdraw]
+
+
+def update_prefix(update: Update) -> Prefix:
+    """The prefix an update concerns, regardless of its kind."""
+    return update.prefix
+
+
+def route_of(update: Update) -> Optional[Route]:
+    """The announced route, or None for withdrawals."""
+    return update.route if isinstance(update, Announce) else None

@@ -1,0 +1,119 @@
+"""Routing information bases: Adj-RIB-In, Loc-RIB, Adj-RIB-Out.
+
+These are the three standard BGP RIBs.  The SPIDeR recorder mirrors all of
+them (Section 6.1), snapshots them for checkpoints (Section 6.5), and the
+elector's VPref inputs for a prefix are exactly the Adj-RIB-In entries for
+that prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .prefix import Prefix
+from .route import Route
+
+
+@dataclass
+class AdjRibIn:
+    """Routes received from each neighbor, per prefix (post-import-policy).
+
+    ``table[prefix][neighbor]`` is the single route that neighbor currently
+    advertises for that prefix, as modified by import policy.
+    """
+
+    table: Dict[Prefix, Dict[int, Route]] = field(default_factory=dict)
+
+    def put(self, neighbor: int, route: Route) -> None:
+        self.table.setdefault(route.prefix, {})[neighbor] = route
+
+    def remove(self, neighbor: int, prefix: Prefix) -> Optional[Route]:
+        """Drop the neighbor's route; returns it, or None if absent."""
+        per_prefix = self.table.get(prefix)
+        if not per_prefix:
+            return None
+        route = per_prefix.pop(neighbor, None)
+        if not per_prefix:
+            del self.table[prefix]
+        return route
+
+    def candidates(self, prefix: Prefix) -> List[Route]:
+        """All routes currently available for ``prefix``."""
+        return list(self.table.get(prefix, {}).values())
+
+    def route_from(self, neighbor: int, prefix: Prefix) -> Optional[Route]:
+        return self.table.get(prefix, {}).get(neighbor)
+
+    def prefixes(self) -> Set[Prefix]:
+        return set(self.table)
+
+    def drop_neighbor(self, neighbor: int) -> List[Prefix]:
+        """Remove every route from ``neighbor`` (session teardown)."""
+        affected = [p for p, per in self.table.items() if neighbor in per]
+        for prefix in affected:
+            self.remove(neighbor, prefix)
+        return affected
+
+    def __len__(self) -> int:
+        return sum(len(per) for per in self.table.values())
+
+
+@dataclass
+class LocRib:
+    """The chosen best route per prefix."""
+
+    table: Dict[Prefix, Route] = field(default_factory=dict)
+
+    def put(self, route: Route) -> None:
+        self.table[route.prefix] = route
+
+    def remove(self, prefix: Prefix) -> Optional[Route]:
+        return self.table.pop(prefix, None)
+
+    def get(self, prefix: Prefix) -> Optional[Route]:
+        return self.table.get(prefix)
+
+    def prefixes(self) -> Set[Prefix]:
+        return set(self.table)
+
+    def routes(self) -> Iterator[Route]:
+        return iter(self.table.values())
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def snapshot_size(self) -> int:
+        """Serialized size of a full routing-state snapshot (Section 7.7)."""
+        return sum(len(r.to_bytes()) for r in self.table.values())
+
+
+@dataclass
+class AdjRibOut:
+    """What we last advertised to each neighbor, per prefix."""
+
+    table: Dict[int, Dict[Prefix, Route]] = field(default_factory=dict)
+
+    def put(self, neighbor: int, route: Route) -> None:
+        self.table.setdefault(neighbor, {})[route.prefix] = route
+
+    def remove(self, neighbor: int, prefix: Prefix) -> Optional[Route]:
+        return self.table.get(neighbor, {}).pop(prefix, None)
+
+    def advertised(self, neighbor: int, prefix: Prefix) -> Optional[Route]:
+        return self.table.get(neighbor, {}).get(prefix)
+
+    def prefixes_to(self, neighbor: int) -> Set[Prefix]:
+        return set(self.table.get(neighbor, {}))
+
+    def __len__(self) -> int:
+        return sum(len(per) for per in self.table.values())
+
+
+def rib_diff(old: Dict[Prefix, Route],
+             new: Dict[Prefix, Route]) -> Tuple[List[Route], List[Prefix]]:
+    """Announcements and withdrawals needed to move a peer from old to new."""
+    announces = [route for prefix, route in new.items()
+                 if old.get(prefix) != route]
+    withdraws = [prefix for prefix in old if prefix not in new]
+    return announces, withdraws

@@ -1,0 +1,186 @@
+"""BGP routes and their attributes.
+
+A :class:`Route` carries every attribute the BGP-4 decision process
+consults (Section 3 of the paper: "the decision procedure is lexicographic,
+beginning with the local preference attribute and proceeding down a chain of
+tie-breakers").  Routes are immutable value objects; policy produces new
+routes via :meth:`Route.replace`-style evolution rather than mutation.
+
+The *null route* ⊥ (Section 3.1) is modeled by :data:`NULL_ROUTE`, a
+distinguished singleton that is "always available" to an elector and that
+promises may rank above real routes to express never-export semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional, Tuple
+
+from .communities import Community, encode_community, format_community
+from .prefix import Prefix
+
+#: Default LOCAL_PREF when policy assigns none (Cisco/Quagga convention).
+DEFAULT_LOCAL_PREF = 100
+
+
+class Origin(enum.IntEnum):
+    """BGP ORIGIN attribute; lower is preferred."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+class NullRoute:
+    """The null route ⊥: always available, exportable as a refusal.
+
+    A singleton; compare with ``is`` or ``==`` (both work).  It never has
+    attributes — asking for them is a bug, so attribute access raises.
+    """
+
+    _instance: Optional["NullRoute"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def to_bytes(self) -> bytes:
+        return b"\x00NULL"
+
+
+NULL_ROUTE = NullRoute()
+
+
+@dataclass(frozen=True)
+class Route:
+    """A concrete BGP route to ``prefix`` as seen by one AS.
+
+    ``neighbor`` is the AS the route was learned from (0 for locally
+    originated routes); it doubles as the next-hop identifier at the AS
+    level of abstraction.  ``local_pref`` is the value assigned by the
+    *receiving* AS's import policy and is not propagated on eBGP export.
+    """
+
+    prefix: Prefix
+    as_path: Tuple[int, ...]
+    neighbor: int = 0
+    local_pref: int = DEFAULT_LOCAL_PREF
+    med: int = 0
+    origin: Origin = Origin.IGP
+    communities: FrozenSet[Community] = field(default_factory=frozenset)
+    #: Tie-break of last resort, standing in for the neighbor router ID.
+    router_id: int = 0
+
+    def __post_init__(self):
+        if len(set(self.as_path)) != len(self.as_path):
+            raise ValueError(f"AS path {self.as_path} contains a loop")
+
+    @property
+    def path_length(self) -> int:
+        return len(self.as_path)
+
+    @property
+    def origin_as(self) -> Optional[int]:
+        """The AS that originated the prefix (last on the path)."""
+        return self.as_path[-1] if self.as_path else None
+
+    def traverses(self, asn: int) -> bool:
+        return asn in self.as_path
+
+    def with_communities(self, *tags: Community) -> "Route":
+        return replace(self, communities=self.communities.union(tags))
+
+    def without_communities(self, *tags: Community) -> "Route":
+        return replace(self,
+                       communities=self.communities.difference(tags))
+
+    def with_local_pref(self, value: int) -> "Route":
+        return replace(self, local_pref=value)
+
+    def prepended(self, asn: int) -> "Route":
+        """The route as exported by ``asn``: path grows, local attrs reset.
+
+        LOCAL_PREF is non-transitive and MED is reset across AS boundaries
+        (we model the common reset-on-export behaviour).
+        """
+        if asn in self.as_path:
+            raise ValueError(f"prepending AS {asn} would create a loop")
+        return replace(self, as_path=(asn,) + self.as_path,
+                       local_pref=DEFAULT_LOCAL_PREF, med=0)
+
+    def to_bytes(self) -> bytes:
+        """Canonical encoding, stable across processes, used for signing.
+
+        Layout: prefix(5) | path_len(1) path(4*n) | local_pref(4) | med(4)
+        | origin(1) | router_id(4) | comm_count(2) comms(4*m, sorted).
+        """
+        out = bytearray()
+        out += self.prefix.to_bytes()
+        out += bytes([len(self.as_path)])
+        for asn in self.as_path:
+            out += asn.to_bytes(4, "big")
+        out += self.local_pref.to_bytes(4, "big", signed=True)
+        out += self.med.to_bytes(4, "big")
+        out += bytes([self.origin])
+        out += self.router_id.to_bytes(4, "big")
+        tags = sorted(self.communities)
+        out += len(tags).to_bytes(2, "big")
+        for tag in tags:
+            out += encode_community(tag)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, neighbor: int = 0) -> "Route":
+        """Inverse of :meth:`to_bytes` (``neighbor`` is receiver-local)."""
+        if len(data) < 6:
+            raise ValueError("route encoding too short")
+        prefix = Prefix.from_bytes(data[:5])
+        pos = 5
+        n_path = data[pos]
+        pos += 1
+        path = tuple(int.from_bytes(data[pos + 4 * i:pos + 4 * i + 4], "big")
+                     for i in range(n_path))
+        pos += 4 * n_path
+        local_pref = int.from_bytes(data[pos:pos + 4], "big", signed=True)
+        pos += 4
+        med = int.from_bytes(data[pos:pos + 4], "big")
+        pos += 4
+        origin = Origin(data[pos])
+        pos += 1
+        router_id = int.from_bytes(data[pos:pos + 4], "big")
+        pos += 4
+        n_comm = int.from_bytes(data[pos:pos + 2], "big")
+        pos += 2
+        comms = frozenset(
+            (int.from_bytes(data[pos + 4 * i:pos + 4 * i + 2], "big"),
+             int.from_bytes(data[pos + 4 * i + 2:pos + 4 * i + 4], "big"))
+            for i in range(n_comm)
+        )
+        pos += 4 * n_comm
+        if pos != len(data):
+            raise ValueError("trailing bytes in route encoding")
+        return cls(prefix=prefix, as_path=path, neighbor=neighbor,
+                   local_pref=local_pref, med=med, origin=origin,
+                   communities=comms, router_id=router_id)
+
+    def __str__(self) -> str:
+        path = " ".join(str(a) for a in self.as_path) or "local"
+        comms = ",".join(format_community(c)
+                         for c in sorted(self.communities))
+        extra = f" [{comms}]" if comms else ""
+        return (f"{self.prefix} via {path} "
+                f"(lp={self.local_pref}){extra}")
+
+
+def originate(prefix: Prefix, asn: int) -> Route:
+    """A locally originated route, as it appears in the originator's RIB."""
+    return Route(prefix=prefix, as_path=(asn,), neighbor=0,
+                 origin=Origin.IGP)

@@ -1,0 +1,85 @@
+"""Per-adjacency VPref instances (Section 8, 'AS atomicity').
+
+ASes are not atomic: policy — and therefore promises — may legitimately
+differ per interconnection point ("the promise made to Alice in Europe
+can be differentiated from the promise made to her in Asia").  The fix
+the paper describes is to run the protocol "not only for each consumer
+but for each consumer adjacency".
+
+An adjacency is addressed by a synthetic participant id derived from the
+AS number and an adjacency index; all adjacencies of one AS share that
+AS's signing key (they are the same organization), so the registry maps
+every adjacency id to the AS's public key.
+
+Running per-adjacency reveals to producers how many interconnections the
+elector and a consumer share; :func:`dummy_adjacencies` implements the
+paper's countermeasure of padding with dummy instances whose promises
+are trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..crypto.keys import Identity, KeyRegistry
+from .classes import ClassScheme
+from .promise import Promise, trivial_promise
+
+#: Adjacency ids live above this base so they never collide with ASNs.
+ADJACENCY_BASE = 1_000_000
+
+
+def adjacency_id(asn: int, point: int) -> int:
+    """The participant id of one (AS, interconnection point) pair."""
+    if not 0 <= point < 1000:
+        raise ValueError("adjacency index out of range")
+    return ADJACENCY_BASE + asn * 1000 + point
+
+
+def adjacency_owner(participant: int) -> int:
+    """The AS behind an adjacency id (identity for plain ASNs)."""
+    if participant < ADJACENCY_BASE:
+        return participant
+    return (participant - ADJACENCY_BASE) // 1000
+
+
+def register_adjacencies(registry: KeyRegistry, identity: Identity,
+                         points: int) -> List[Identity]:
+    """Create ``points`` adjacency identities for one AS.
+
+    Each adjacency reuses the AS's private key but signs under its own
+    participant id, so per-adjacency messages remain attributable to the
+    organization while the protocol treats adjacencies as distinct
+    consumers.
+    """
+    identities = []
+    for point in range(points):
+        participant = adjacency_id(identity.asn, point)
+        adjacency_identity = Identity(asn=participant,
+                                      private_key=identity.private_key)
+        registry.register(participant, identity.public_key)
+        identities.append(adjacency_identity)
+    return identities
+
+
+def dummy_adjacencies(scheme: ClassScheme, real: Dict[int, Promise],
+                      total: int) -> Dict[int, Promise]:
+    """Pad a per-adjacency promise map up to ``total`` entries.
+
+    Dummy adjacencies carry the trivial promise (no preferences), so
+    they can never cause a violation; their presence conceals how many
+    real interconnections exist ("adding extra dummy instances would
+    conceal the true number of connections, at additional cost").
+    """
+    if total < len(real):
+        raise ValueError("total below the number of real adjacencies")
+    if not real:
+        raise ValueError("at least one real adjacency is required")
+    padded = dict(real)
+    owner = adjacency_owner(next(iter(real)))
+    next_point = max(p - ADJACENCY_BASE - owner * 1000
+                     for p in real) + 1
+    while len(padded) < total:
+        padded[adjacency_id(owner, next_point)] = trivial_promise(scheme)
+        next_point += 1
+    return padded

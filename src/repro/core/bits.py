@@ -1,0 +1,124 @@
+"""Input-bit computation — step 3 of the VPref commitment phase.
+
+The elector chooses one bit ``b_j`` per indifference class ``R_j`` and sets
+it to 1 iff
+
+* at least one input is from class ``R_j`` (``r_i ∈ R_j`` for some i), or
+* ``R_j`` is ranked below the chosen route's class by at least one promise
+  (``R_j ≤_i e`` for some consumer i).
+
+The null route ⊥ is always available to the elector (Section 3.1), so it is
+always counted among the inputs here; without this, an elector that
+wrongly exports a never-export route could commit a 0 bit for ⊥'s class
+and the consumer-side check of Section 7.4 ("the downstream AS noticed
+that it had a bit proof for the null route, which was better than the
+route it had actually received") would not fire.
+
+This module also contains the *honest elector* helpers: which offers
+conform to a promise given the available inputs, and how a correct elector
+picks ``e`` so that every consumer can be given a conforming offer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..bgp.route import NULL_ROUTE
+from .classes import ClassScheme, RouteOrNull
+from .promise import Promise
+
+
+def compute_bits(scheme: ClassScheme,
+                 inputs: Iterable[RouteOrNull],
+                 chosen: RouteOrNull,
+                 promises: Iterable[Promise]) -> Tuple[int, ...]:
+    """The k input bits for one VPref instance.
+
+    ``inputs`` are the producers' advertised routes (⊥ entries allowed and
+    redundant — ⊥ is always included); ``chosen`` is the elector's choice
+    ``e``; ``promises`` are the per-consumer partial orders ``≤_j``.
+    """
+    bits: List[int] = [0] * scheme.k
+
+    bits[scheme.classify(NULL_ROUTE)] = 1
+    for route in inputs:
+        if route is NULL_ROUTE:
+            continue
+        bits[scheme.classify(route)] = 1
+
+    chosen_class = scheme.classify(chosen)
+    for promise in promises:
+        if promise.scheme.k != scheme.k:
+            raise ValueError("promise scheme does not match bit scheme")
+        for worse in promise.classes_below(chosen_class):
+            bits[worse] = 1
+
+    return tuple(bits)
+
+
+def available_classes(scheme: ClassScheme,
+                      inputs: Iterable[RouteOrNull]) -> Tuple[int, ...]:
+    """Classes with at least one available route (⊥ always included)."""
+    classes = {scheme.classify(NULL_ROUTE)}
+    for route in inputs:
+        if route is not NULL_ROUTE:
+            classes.add(scheme.classify(route))
+    return tuple(sorted(classes))
+
+
+def offer_conforms(promise: Promise, inputs: Sequence[RouteOrNull],
+                   offer: RouteOrNull) -> bool:
+    """Does offering ``offer`` keep ``promise``, given these inputs?
+
+    Section 4.1: the promise to C_j is broken iff some input's class is
+    strictly preferred (by ``≤_j``) over the class of the route offered to
+    C_j.  ⊥ counts among the inputs because it is always available.
+    """
+    offer_class = promise.scheme.classify(offer)
+    return not any(
+        promise.prefers(cls, offer_class)
+        for cls in available_classes(promise.scheme, inputs)
+    )
+
+
+def conforming_offer(promise: Promise, inputs: Sequence[RouteOrNull],
+                     chosen: RouteOrNull) -> Optional[RouteOrNull]:
+    """The offer a correct elector makes to one consumer.
+
+    The model (Section 4.1) restricts the offer to ``e`` or ⊥.  Prefer
+    offering the real route; fall back to ⊥ (export filtering); return
+    None when neither conforms — which can only happen when the elector's
+    choice of ``e`` is incompatible with this promise.
+    """
+    if offer_conforms(promise, inputs, chosen):
+        return chosen
+    if offer_conforms(promise, inputs, NULL_ROUTE):
+        return NULL_ROUTE
+    return None
+
+
+def honest_choice(scheme: ClassScheme,
+                  inputs: Sequence[RouteOrNull],
+                  promises: Iterable[Promise],
+                  private_rank=None) -> RouteOrNull:
+    """Pick ``e`` so every consumer can be given a conforming offer.
+
+    Candidates are tried in the elector's private preference order
+    (``private_rank``: lower sorts earlier; defaults to a deterministic
+    byte ordering standing in for the BGP decision process).  The first
+    candidate for which every promise admits a conforming offer wins.  If
+    none exists — possible only with inconsistent promises (Theorem 5) —
+    ⊥ is returned and some promise will be broken or some consumer
+    unserved.
+    """
+    promise_list = list(promises)
+    real_inputs = [r for r in inputs if r is not NULL_ROUTE]
+    if private_rank is None:
+        private_rank = lambda route: route.to_bytes()
+    candidates: List[RouteOrNull] = sorted(real_inputs, key=private_rank)
+    candidates.append(NULL_ROUTE)
+    for candidate in candidates:
+        if all(conforming_offer(p, inputs, candidate) is not None
+               for p in promise_list):
+            return candidate
+    return NULL_ROUTE

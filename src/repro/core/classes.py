@@ -1,0 +1,242 @@
+"""Indifference classes and route classifiers (Definition 1, Section 3.1).
+
+A promise partitions the set ``R(A, p)`` of all routes an AS might receive
+for a prefix into *indifference classes*.  This module provides the
+:class:`ClassScheme` — the shared, public mapping from routes to classes
+that all VPref participants must agree on (Section 4.1: "the set of
+possible routes is divided into k indifference classes R_1, ..., R_k,
+which are known to all ASes") — plus the concrete classifiers matching the
+examples in Section 3.2.
+
+The null route ⊥ is a member of ``R(A, p)`` and is always classified
+somewhere (possibly in a class of its own), which is how never-export
+promises are expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+from ..bgp.policy import Relation
+from ..bgp.route import NULL_ROUTE, NullRoute, Route
+from ..crypto.hashing import digest_fields
+
+RouteOrNull = Union[Route, NullRoute]
+
+#: A classifier maps a route (or ⊥) to a class index, or None when the
+#: route falls outside the scheme entirely (treated as a protocol error).
+Classifier = Callable[[RouteOrNull], Optional[int]]
+
+
+@dataclass(frozen=True)
+class ClassScheme:
+    """A named partition of the route space into k indifference classes.
+
+    ``labels[i]`` names class ``R_{i+1}`` of the paper (we use 0-based
+    indices).  ``classify`` must be a pure function of the route's public
+    attributes so that every participant computes the same class for the
+    same route.
+    """
+
+    labels: Tuple[str, ...]
+    classify_fn: Classifier
+
+    def __post_init__(self):
+        if not self.labels:
+            raise ValueError("a class scheme needs at least one class")
+        if len(set(self.labels)) != len(self.labels):
+            raise ValueError("class labels must be unique")
+
+    @property
+    def k(self) -> int:
+        """Number of indifference classes."""
+        return len(self.labels)
+
+    def classify(self, route: RouteOrNull) -> int:
+        """Class index of ``route``; raises if the route is out of scheme."""
+        index = self.classify_fn(route)
+        if index is None or not 0 <= index < self.k:
+            raise ValueError(
+                f"route {route} does not fall into any class of {self}"
+            )
+        return index
+
+    def label_of(self, route: RouteOrNull) -> str:
+        return self.labels[self.classify(route)]
+
+    def encode(self) -> bytes:
+        """Canonical encoding of the class structure (labels only).
+
+        The classifier function itself is shared out of band (it is part of
+        the promise text in a peering agreement); its label tuple is what
+        gets hashed into signed promise representations.
+        """
+        return digest_fields(*[label.encode() for label in self.labels])
+
+    def __str__(self) -> str:
+        return f"ClassScheme({', '.join(self.labels)})"
+
+
+# ----------------------------------------------------------------------
+# Concrete classifiers for the Section 3.2 examples
+
+
+def relation_scheme(relations: Dict[int, Relation],
+                    include_provider_tier: bool = False,
+                    null_label: str = "no-route") -> ClassScheme:
+    """'Prefer customer': classes by the business relation of the neighbor.
+
+    With ``include_provider_tier`` False this yields the two-class
+    Gao-Rexford promise (customer routes vs. everything else); with it
+    True, the three-class customer/peer/provider version.  ⊥ gets its own
+    least class so that any real route beats no route.
+    """
+    if include_provider_tier:
+        labels = (null_label, "provider-routes", "peer-routes",
+                  "customer-routes")
+        tier = {Relation.PROVIDER: 1, Relation.PEER: 2,
+                Relation.SIBLING: 2, Relation.CUSTOMER: 3}
+    else:
+        labels = (null_label, "non-customer-routes", "customer-routes")
+        tier = {Relation.PROVIDER: 1, Relation.PEER: 1,
+                Relation.SIBLING: 1, Relation.CUSTOMER: 2}
+
+    def classify(route: RouteOrNull) -> Optional[int]:
+        if route is NULL_ROUTE:
+            return 0
+        relation = relations.get(route.neighbor)
+        if relation is None:
+            return 1  # unknown neighbors count as non-customer
+        return tier[relation]
+
+    return ClassScheme(labels=labels, classify_fn=classify)
+
+
+def local_pref_scheme(thresholds: Sequence[int],
+                      null_label: str = "no-route") -> ClassScheme:
+    """Classes by local-preference tier (Figure 2, row 1).
+
+    ``thresholds`` are the tier boundaries in increasing order; a route
+    with local-pref in ``[thresholds[i], thresholds[i+1])`` lands in tier
+    ``i``.  ⊥ is the least class.
+    """
+    bounds = tuple(thresholds)
+    if list(bounds) != sorted(set(bounds)):
+        raise ValueError("thresholds must be strictly increasing")
+    if not bounds:
+        raise ValueError("at least one threshold is required")
+    labels = (null_label,) + tuple(
+        f"local-pref>={b}" for b in bounds)
+
+    def classify(route: RouteOrNull) -> Optional[int]:
+        if route is NULL_ROUTE:
+            return 0
+        tier = 0
+        for i, bound in enumerate(bounds):
+            if route.local_pref >= bound:
+                tier = i + 1
+        return tier
+
+    return ClassScheme(labels=labels, classify_fn=classify)
+
+
+def path_length_scheme(max_length: int,
+                       null_label: str = "no-route") -> ClassScheme:
+    """'Path length': one class per AS-path length up to ``max_length``.
+
+    This is the scheme the evaluation uses with 50 classes ("defined 50
+    indifference classes based on the number of hops", Section 7.2).
+    Class 0 is ⊥/too-long; class i (1 ≤ i ≤ max_length) holds routes of
+    length ``max_length - i + 1`` so that shorter paths land in higher
+    classes.
+    """
+    if max_length < 1:
+        raise ValueError("max_length must be at least 1")
+    labels = (null_label,) + tuple(
+        f"length-{max_length - i}" for i in range(max_length))
+
+    def classify(route: RouteOrNull) -> Optional[int]:
+        if route is NULL_ROUTE:
+            return 0
+        if route.path_length == 0 or route.path_length > max_length:
+            return 0
+        return max_length - route.path_length + 1
+
+    return ClassScheme(labels=labels, classify_fn=classify)
+
+
+def selective_export_scheme(
+        is_exportable: Callable[[Route], bool]) -> ClassScheme:
+    """'Selective export' (Section 3.2): ⊥ separates the two route classes.
+
+    Excluded routes must *never* be exported, so the null route sits in a
+    class of its own between them: exportable > ⊥ > excluded.  Exporting an
+    excluded route then breaks the promise because ⊥ (always available)
+    would have been strictly better.
+    """
+    labels = ("excluded-routes", "no-route", "exportable-routes")
+
+    def classify(route: RouteOrNull) -> Optional[int]:
+        if route is NULL_ROUTE:
+            return 1
+        return 2 if is_exportable(route) else 0
+
+    return ClassScheme(labels=labels, classify_fn=classify)
+
+
+def partial_transit_scheme(region,
+                           region_label: str = "region-routes"
+                           ) -> ClassScheme:
+    """'Partial customer or transit relationship' (Section 3.2).
+
+    The consumer asked for only a subset of the table — e.g. "routes to
+    destinations in Japan".  Routes to prefixes inside the region must
+    be delivered (class above ⊥); routes outside it must *not* be
+    (class below ⊥), so the consumer can verify both that it receives
+    everything it pays for and nothing it doesn't.
+
+    ``region`` is a sequence of covering prefixes; a route is in-region
+    iff its prefix falls under one of them.
+    """
+    region_prefixes = tuple(region)
+    if not region_prefixes:
+        raise ValueError("the region needs at least one prefix")
+    labels = ("outside-region", "no-route", region_label)
+
+    def classify(route: RouteOrNull) -> Optional[int]:
+        if route is NULL_ROUTE:
+            return 1
+        in_region = any(covering.contains(route.prefix)
+                        for covering in region_prefixes)
+        return 2 if in_region else 0
+
+    return ClassScheme(labels=labels, classify_fn=classify)
+
+
+def relation_with_path_length_scheme(
+        relations: Dict[int, Relation], max_length: int) -> ClassScheme:
+    """Customer/non-customer split further by path length (Section 3.2).
+
+    "Each original class would be split: what was the 'peer route' class
+    now becomes 'peer routes of length 2', 'peer routes of length 3', and
+    so on."  Ordering among the resulting classes is chosen by the promise,
+    not here.
+    """
+    if max_length < 1:
+        raise ValueError("max_length must be at least 1")
+    labels = ["no-route"]
+    for group in ("non-customer", "customer"):
+        for length in range(max_length, 0, -1):
+            labels.append(f"{group}-length-{length}")
+
+    def classify(route: RouteOrNull) -> Optional[int]:
+        if route is NULL_ROUTE:
+            return 0
+        if route.path_length == 0 or route.path_length > max_length:
+            return 0
+        is_customer = relations.get(route.neighbor) is Relation.CUSTOMER
+        group_base = 1 + (max_length if is_customer else 0)
+        return group_base + (max_length - route.path_length)
+
+    return ClassScheme(labels=tuple(labels), classify_fn=classify)

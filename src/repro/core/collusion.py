@@ -1,0 +1,108 @@
+"""Collusion analysis (Section 4.6, last paragraphs / technical report).
+
+"If the elector colludes with some of the producers, detection is only
+guaranteed for violations that would exist for *any* combination of
+inputs from the colluding producers — if there is any combination that
+would make the elector's output conform to the promise, the elector can
+simply ask his confederates to pretend that this is what they
+provided."
+
+This module makes that boundary computable: given the honest producers'
+(unchangeable, acknowledged) inputs and the set of colluders (free to
+claim any input), :func:`masking_assignment` searches for claimed inputs
+that make a given offer conform.  Detection of a violation is guaranteed
+iff no such assignment exists — :func:`violation_detectable`.
+
+Classes are the right granularity for the search: conformance depends
+only on which indifference classes are inhabited, so each colluder
+contributes one claimed class (or ⊥, i.e. "I sent nothing").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..bgp.route import NULL_ROUTE
+from .classes import ClassScheme, RouteOrNull
+from .promise import Promise
+
+
+def _inhabited_classes(scheme: ClassScheme,
+                       honest_inputs: Iterable[RouteOrNull]) -> set:
+    classes = {scheme.classify(NULL_ROUTE)}
+    for route in honest_inputs:
+        if route is not NULL_ROUTE:
+            classes.add(scheme.classify(route))
+    return classes
+
+
+def offer_conforms_with_classes(promise: Promise,
+                                inhabited: Iterable[int],
+                                offer_class: int) -> bool:
+    """Class-level conformance: no inhabited class strictly above the
+    offered one."""
+    return not any(promise.prefers(cls, offer_class)
+                   for cls in inhabited)
+
+
+def masking_assignment(
+        scheme: ClassScheme,
+        promises: Dict[int, Promise],
+        honest_inputs: Sequence[RouteOrNull],
+        colluders: Sequence[int],
+        offers: Dict[int, RouteOrNull],
+        required: Optional[Dict[int, int]] = None,
+) -> Optional[Dict[int, Optional[int]]]:
+    """Claimed classes the colluders could present to mask the offers.
+
+    ``offers[consumer]`` is what the elector actually gave each
+    consumer.  Returns a map colluder → claimed class (None meaning the
+    colluder claims ⊥) under which every offer conforms to its promise,
+    or None when no assignment works — i.e. when the violation is
+    detectable despite the collusion.
+
+    The colluders cannot alter the honest producers' inputs (those are
+    pinned by signed acknowledgments), only their own — except that a
+    colluder whose route was actually exported is pinned to it
+    (consumers hold its inner signature): pass those as ``required``
+    (colluder → class it must claim).
+    """
+    required = required or {}
+    base = _inhabited_classes(scheme, honest_inputs)
+    # Each free colluder claims ⊥ or any class (producers can fabricate
+    # a route of any class whose attributes they control).
+    choices: List[List[Optional[int]]] = [
+        [required[colluder]] if colluder in required
+        else [None] + list(range(scheme.k))
+        for colluder in colluders
+    ]
+    offer_classes = {consumer: scheme.classify(offer)
+                     for consumer, offer in offers.items()}
+    for assignment in itertools.product(*choices):
+        inhabited = set(base)
+        inhabited.update(cls for cls in assignment if cls is not None)
+        if all(offer_conforms_with_classes(promises[consumer], inhabited,
+                                           offer_classes[consumer])
+               for consumer in offers):
+            return dict(zip(colluders, assignment))
+    return None
+
+
+def violation_detectable(
+        scheme: ClassScheme,
+        promises: Dict[int, Promise],
+        honest_inputs: Sequence[RouteOrNull],
+        colluders: Sequence[int],
+        offers: Dict[int, RouteOrNull],
+        required: Optional[Dict[int, int]] = None,
+) -> bool:
+    """The §4.6 collusion guarantee, decided.
+
+    True iff at least one correct participant must detect the violation
+    no matter what the colluding producers pretend to have sent —
+    equivalently, iff the violation 'would exist for any combination of
+    inputs from the colluding producers'.
+    """
+    return masking_assignment(scheme, promises, honest_inputs, colluders,
+                              offers, required=required) is None

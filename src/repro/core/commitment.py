@@ -1,0 +1,115 @@
+"""Flat (single-prefix) commitments and bit proofs — Sections 4.4–4.5.
+
+The basic VPref commitment for one prefix is
+``h := H(H(b_1||x_1) || ... || H(b_k||x_k))`` where ``b_j`` are the input
+bits and ``x_j`` fresh random bitstrings.  A *bit proof* for bit i reveals
+``b_i`` and ``x_i`` together with the leaf hashes ``H(b_j||x_j)`` for all
+j ≠ i, letting the verifier recompute ``h`` without learning any other
+bit.
+
+The :class:`FlatOpening` is the elector's private side; everyone else only
+ever sees the 20-byte root and individual :class:`FlatBitProof` objects.
+For many prefixes this scheme is superseded by the MTT
+(:mod:`repro.mtt`), which shares the same proof-verification contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..crypto.hashing import DIGEST_SIZE, bit_commitment, digest_concat
+from ..crypto.rc4 import Rc4Csprng
+
+
+@dataclass(frozen=True)
+class FlatBitProof:
+    """Proof that bit ``index`` had value ``bit`` under a commitment root.
+
+    ``sibling_leaves[j]`` is ``H(b_j||x_j)`` for j ≠ index, in leaf order
+    with the proven leaf omitted.
+    """
+
+    index: int
+    bit: int
+    blinding: bytes
+    sibling_leaves: Tuple[bytes, ...]
+
+    @property
+    def k(self) -> int:
+        """Number of indifference classes the commitment covered."""
+        return len(self.sibling_leaves) + 1
+
+    def wire_size(self) -> int:
+        return 4 + 1 + len(self.blinding) + \
+            sum(len(l) for l in self.sibling_leaves)
+
+    def encode(self) -> bytes:
+        """Canonical bytes (for signing proofs sent to neighbors)."""
+        out = bytearray()
+        out += self.index.to_bytes(4, "big")
+        out += bytes([self.bit])
+        out += self.blinding
+        for leaf in self.sibling_leaves:
+            out += leaf
+        return bytes(out)
+
+
+class FlatOpening:
+    """The elector-private opening of a flat commitment."""
+
+    def __init__(self, bits: Sequence[int], csprng: Rc4Csprng):
+        if not bits:
+            raise ValueError("cannot commit to zero bits")
+        if any(b not in (0, 1) for b in bits):
+            raise ValueError("bits must be 0 or 1")
+        self._bits = tuple(bits)
+        self._blindings = tuple(csprng.bitstring() for _ in bits)
+        self._leaves = tuple(
+            bit_commitment(b, x)
+            for b, x in zip(self._bits, self._blindings)
+        )
+        self._root = digest_concat(*self._leaves)
+
+    @property
+    def bits(self) -> Tuple[int, ...]:
+        return self._bits
+
+    @property
+    def root(self) -> bytes:
+        """The 20-byte commitment ``h`` that gets signed and broadcast."""
+        return self._root
+
+    def prove(self, index: int) -> FlatBitProof:
+        """Construct the bit proof for bit ``index``."""
+        if not 0 <= index < len(self._bits):
+            raise IndexError(f"bit index {index} out of range")
+        siblings = tuple(leaf for j, leaf in enumerate(self._leaves)
+                         if j != index)
+        return FlatBitProof(index=index, bit=self._bits[index],
+                            blinding=self._blindings[index],
+                            sibling_leaves=siblings)
+
+
+def verify_flat_proof(root: bytes, proof: FlatBitProof,
+                      expected_k: Optional[int] = None) -> Optional[int]:
+    """Check a bit proof against a commitment root.
+
+    Returns the proven bit value (0 or 1) when the proof is valid, or None
+    when it is not.  ``expected_k`` guards against an elector presenting a
+    proof for a commitment with the wrong number of classes.
+    """
+    if proof.bit not in (0, 1):
+        return None
+    if len(proof.blinding) != DIGEST_SIZE:
+        return None
+    if expected_k is not None and proof.k != expected_k:
+        return None
+    if not 0 <= proof.index < proof.k:
+        return None
+    leaf = bit_commitment(proof.bit, proof.blinding)
+    leaves: List[bytes] = list(proof.sibling_leaves)
+    leaves.insert(proof.index, leaf)
+    if digest_concat(*leaves) != root:
+        return None
+    return proof.bit

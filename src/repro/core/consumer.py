@@ -1,0 +1,145 @@
+"""The consumer role of VPref (Sections 4.4–4.5).
+
+A consumer receives the elector's offer in step six and, during
+verification, demands a 0-bit proof for every indifference class its
+promise ranks strictly above the class of the offered route.  A missing
+proof, an invalid proof, or a proof of a 1 bit means the elector had (or
+claimed to have) a strictly better route — a broken promise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..crypto.keys import Identity, KeyRegistry
+from ..crypto.signatures import Signed, Signer
+from .classes import ClassScheme
+from .commitment import verify_flat_proof
+from .promise import Promise, verify_signed_promise
+from .verdict import ConsumerChallengePoM, FaultKind, Verdict
+from .wire import BitProofMsg, CommitmentMsg, OfferMsg
+
+
+class Consumer:
+    """One VPref consumer for a single prefix and round."""
+
+    def __init__(self, identity: Identity, registry: KeyRegistry,
+                 elector: int, promise: Promise, signed_promise: Signed,
+                 round_id: int = 0):
+        self.identity = identity
+        self.registry = registry
+        self.elector = elector
+        self.promise = promise
+        self.round_id = round_id
+        self.signer = Signer(identity)
+        self.offer: Optional[OfferMsg] = None
+        self.commitment: Optional[CommitmentMsg] = None
+        self._signed_promise = signed_promise
+        if not verify_signed_promise(registry, elector, promise,
+                                     signed_promise):
+            raise ValueError("signed promise representation is invalid")
+
+    @property
+    def asn(self) -> int:
+        return self.identity.asn
+
+    @property
+    def scheme(self) -> ClassScheme:
+        return self.promise.scheme
+
+    # ------------------------------------------------------------------
+    # Commitment phase
+
+    def accept_offer(self, msg: Optional[OfferMsg]) -> Optional[Verdict]:
+        """Step 6 receipt: the offered route (or ⊥) with its signatures."""
+        if msg is None:
+            return Verdict(
+                detector=self.asn, accused=self.elector,
+                kind=FaultKind.MISSING_MESSAGE,
+                description="no step-six offer received",
+            )
+        if not msg.valid(self.registry) or msg.consumer != self.asn or \
+                msg.elector != self.elector or \
+                msg.round_id != self.round_id:
+            return Verdict(
+                detector=self.asn, accused=self.elector,
+                kind=FaultKind.INVALID_SIGNATURE,
+                description="step-six offer fails validation "
+                            "(missing or bad producer signature?)",
+            )
+        self.offer = msg
+        return None
+
+    def accept_commitment(self,
+                          msg: Optional[CommitmentMsg]) -> Optional[Verdict]:
+        if msg is None:
+            return Verdict(
+                detector=self.asn, accused=self.elector,
+                kind=FaultKind.MISSING_MESSAGE,
+                description="no commitment received",
+            )
+        if not msg.valid(self.registry) or msg.elector != self.elector or \
+                msg.round_id != self.round_id:
+            return Verdict(
+                detector=self.asn, accused=self.elector,
+                kind=FaultKind.INVALID_SIGNATURE,
+                description="commitment fails validation",
+            )
+        self.commitment = msg
+        return None
+
+    # ------------------------------------------------------------------
+    # Verification phase
+
+    def due_classes(self) -> List[int]:
+        """Classes for which this consumer is owed a 0-bit proof."""
+        if self.offer is None:
+            raise RuntimeError("no offer accepted yet")
+        offer_class = self.scheme.classify(self.offer.offer)
+        return list(self.promise.classes_above(offer_class))
+
+    def evaluate_proofs(self, proofs: List[BitProofMsg]) -> List[Verdict]:
+        """Check that every preferred class is proven empty (bit 0)."""
+        if self.offer is None or self.commitment is None:
+            raise RuntimeError("cannot verify before the commitment phase")
+
+        by_class: Dict[int, BitProofMsg] = {}
+        for msg in proofs:
+            by_class.setdefault(msg.proof.index, msg)
+
+        due = self.due_classes()
+        responses = tuple(by_class.get(c) for c in due)
+        verdicts: List[Verdict] = []
+        for class_index, response in zip(due, responses):
+            label = self.scheme.labels[class_index]
+            if response is None:
+                kind, why = FaultKind.MISSING_PROOF, \
+                    f"no proof for preferred class {label!r}"
+            elif not response.valid(self.registry):
+                kind, why = FaultKind.INVALID_SIGNATURE, \
+                    f"proof for class {label!r} badly signed"
+            else:
+                proven = verify_flat_proof(self.commitment.root,
+                                           response.proof,
+                                           expected_k=self.scheme.k)
+                if proven == 0:
+                    continue
+                if proven is None:
+                    kind, why = FaultKind.INVALID_PROOF, \
+                        f"proof for class {label!r} does not match " \
+                        "the commitment"
+                else:
+                    kind, why = FaultKind.BROKEN_PROMISE, \
+                        f"class {label!r} preferred over our route is " \
+                        "proven non-empty"
+            pom = ConsumerChallengePoM(
+                offer=self.offer, promise=self.promise,
+                signed_promise=self._signed_promise,
+                commitment=self.commitment,
+                responses=responses, challenged_classes=tuple(due),
+            )
+            verdicts.append(Verdict(
+                detector=self.asn, accused=self.elector, kind=kind,
+                description=why, pom=pom,
+            ))
+        return verdicts

@@ -1,0 +1,248 @@
+"""The elector role of VPref (Section 4.1, Figure 3).
+
+The elector receives one route per producer, chooses a route ``e``, offers
+``e`` or ⊥ to each consumer, and commits to the per-class input bits.  A
+:class:`Behavior` object parameterizes every point where a faulty elector
+could deviate; the default behavior is honest, and the fault-injection
+library (:mod:`repro.faults`) builds misbehaving variants for the
+Section 7.4 functionality checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bgp.route import NULL_ROUTE
+from ..crypto.keys import Identity, KeyRegistry
+from ..crypto.rc4 import Rc4Csprng
+from ..crypto.signatures import Signed, Signer
+from .bits import compute_bits, conforming_offer, honest_choice
+from .classes import ClassScheme, RouteOrNull
+from .commitment import FlatOpening
+from .promise import Promise, signed_promise
+from .wire import AdvertAck, BitProofMsg, CommitmentMsg, OfferMsg, \
+    RouteAdvert
+
+
+@dataclass
+class Behavior:
+    """Deviation hooks; every None/empty field means 'behave honestly'.
+
+    * ``choose`` — replace the route-choice function;
+    * ``offer_override`` — per-consumer offer replacement, keyed by
+      consumer ASN (use :data:`NULL_ROUTE` to wrongly filter, or a route to
+      wrongly export);
+    * ``bits_tamper`` — rewrite the input bits before committing;
+    * ``equivocate_to`` — neighbors that receive a *different* commitment
+      (built from flipped bits), modeling inconsistent commitments;
+    * ``skip_acks`` — producers whose adverts are never acknowledged;
+    * ``drop_proofs`` — (recipient, class) pairs whose bit proofs are
+      withheld during verification;
+    * ``tamper_proofs`` — (recipient, class) pairs whose bit proofs get a
+      flipped bit value (the "tampered bit proof" fault of Section 7.4);
+    * ``refuse_challenges`` — ignore PROOFCHALLENGE requests.
+    """
+
+    choose: Optional[Callable[..., RouteOrNull]] = None
+    offer_override: Dict[int, RouteOrNull] = field(default_factory=dict)
+    bits_tamper: Optional[Callable[[Tuple[int, ...]], Tuple[int, ...]]] = None
+    equivocate_to: Set[int] = field(default_factory=set)
+    skip_acks: Set[int] = field(default_factory=set)
+    drop_proofs: Set[Tuple[int, int]] = field(default_factory=set)
+    tamper_proofs: Set[Tuple[int, int]] = field(default_factory=set)
+    refuse_challenges: bool = False
+
+
+HONEST = Behavior()
+
+
+@dataclass
+class CommitmentPhaseOutput:
+    """Everything the elector sends in steps 2, 5 and 6."""
+
+    acks: Dict[int, AdvertAck]
+    commitments: Dict[int, CommitmentMsg]
+    offers: Dict[int, OfferMsg]
+    chosen: RouteOrNull
+
+
+class Elector:
+    """One VPref elector for a single prefix and round."""
+
+    def __init__(self, identity: Identity, registry: KeyRegistry,
+                 scheme: ClassScheme, promises: Dict[int, Promise],
+                 seed: bytes, round_id: int = 0,
+                 behavior: Behavior = HONEST,
+                 private_rank: Optional[Callable] = None):
+        self.identity = identity
+        self.registry = registry
+        self.scheme = scheme
+        self.promises = dict(promises)
+        self.round_id = round_id
+        self.behavior = behavior
+        self.signer = Signer(identity)
+        self._seed = seed
+        self._private_rank = private_rank
+        self._adverts: Dict[int, RouteAdvert] = {}
+        self._opening: Optional[FlatOpening] = None
+        self._alt_opening: Optional[FlatOpening] = None
+        self._chosen: Optional[RouteOrNull] = None
+
+    @property
+    def asn(self) -> int:
+        return self.identity.asn
+
+    @property
+    def consumers(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.promises))
+
+    # ------------------------------------------------------------------
+    # Commitment phase
+
+    def receive_advert(self, advert: RouteAdvert) -> Optional[AdvertAck]:
+        """Step 2: validate, store, and acknowledge a producer's route."""
+        if not advert.valid(self.registry):
+            return None  # invalid adverts are ignored (producer fault)
+        if advert.elector != self.asn or advert.round_id != self.round_id:
+            return None
+        self._adverts[advert.producer] = advert
+        if advert.producer in self.behavior.skip_acks:
+            return None
+        return AdvertAck.make(self.signer, advert)
+
+    def inputs(self) -> List[RouteOrNull]:
+        return [a.route for a in self._adverts.values()]
+
+    def signed_promise_for(self, consumer: int) -> Signed:
+        """Assumption 6: the signed promise representation."""
+        return signed_promise(self.signer, self.promises[consumer])
+
+    def run_commitment_phase(self) -> CommitmentPhaseOutput:
+        """Steps 3-6: choose, compute bits, commit, and offer."""
+        inputs = self.inputs()
+        promise_list = [self.promises[c] for c in self.consumers]
+
+        if self.behavior.choose is not None:
+            chosen = self.behavior.choose(inputs, promise_list)
+        else:
+            chosen = honest_choice(self.scheme, inputs, promise_list,
+                                   private_rank=self._private_rank)
+        self._chosen = chosen
+
+        bits = compute_bits(self.scheme, inputs, chosen, promise_list)
+        if self.behavior.bits_tamper is not None:
+            bits = self.behavior.bits_tamper(bits)
+        self._opening = FlatOpening(bits, Rc4Csprng(self._seed))
+
+        commitments: Dict[int, CommitmentMsg] = {}
+        main_msg = CommitmentMsg.make(self.signer, self.round_id,
+                                      self._opening.root)
+        if self.behavior.equivocate_to:
+            flipped = tuple(1 - b for b in bits)
+            self._alt_opening = FlatOpening(
+                flipped, Rc4Csprng(self._seed + b"alt"))
+            alt_msg = CommitmentMsg.make(self.signer, self.round_id,
+                                         self._alt_opening.root)
+        for neighbor in set(self._adverts) | set(self.promises):
+            if neighbor in self.behavior.equivocate_to:
+                commitments[neighbor] = alt_msg
+            else:
+                commitments[neighbor] = main_msg
+
+        offers: Dict[int, OfferMsg] = {}
+        for consumer in self.consumers:
+            offer = self._offer_for(consumer, inputs, chosen)
+            advert = self._advert_for_route(offer)
+            offers[consumer] = OfferMsg.make(self.signer, self.round_id,
+                                             consumer, offer, advert)
+
+        acks: Dict[int, AdvertAck] = {}  # filled by receive_advert callers
+        return CommitmentPhaseOutput(acks=acks, commitments=commitments,
+                                     offers=offers, chosen=chosen)
+
+    def _offer_for(self, consumer: int, inputs: Sequence[RouteOrNull],
+                   chosen: RouteOrNull) -> RouteOrNull:
+        if consumer in self.behavior.offer_override:
+            return self.behavior.offer_override[consumer]
+        offer = conforming_offer(self.promises[consumer], inputs, chosen)
+        # With inconsistent promises no conforming offer may exist; the
+        # honest fallback is ⊥, accepting the (unavoidable) violation.
+        return offer if offer is not None else NULL_ROUTE
+
+    def _advert_for_route(self,
+                          route: RouteOrNull) -> Optional[RouteAdvert]:
+        if route is NULL_ROUTE:
+            return None
+        for advert in self._adverts.values():
+            if advert.route == route:
+                return advert
+        # Offering a route no producer advertised: fabricate no signature
+        # (we cannot), so the offer goes out without a valid inner advert
+        # and consumers detect it.
+        return None
+
+    # ------------------------------------------------------------------
+    # Verification phase
+
+    def _proof_msg(self, recipient: int,
+                   class_index: int) -> Optional[BitProofMsg]:
+        if self._opening is None:
+            raise RuntimeError("commitment phase has not run")
+        if (recipient, class_index) in self.behavior.drop_proofs:
+            return None
+        opening = self._alt_opening \
+            if recipient in self.behavior.equivocate_to and \
+            self._alt_opening is not None else self._opening
+        proof = opening.prove(class_index)
+        if (recipient, class_index) in self.behavior.tamper_proofs:
+            proof = type(proof)(index=proof.index, bit=1 - proof.bit,
+                                blinding=proof.blinding,
+                                sibling_leaves=proof.sibling_leaves)
+        return BitProofMsg.make(self.signer, self.round_id, recipient,
+                                proof)
+
+    def proofs_for_producer(self, producer: int) -> List[BitProofMsg]:
+        """Section 4.5: a producer that sent r_j ≠ ⊥ gets the proof for
+        r_j's class; a producer that sent ⊥ gets nothing."""
+        advert = self._adverts.get(producer)
+        if advert is None or advert.route is NULL_ROUTE:
+            return []
+        class_index = self.scheme.classify(advert.route)
+        msg = self._proof_msg(producer, class_index)
+        return [msg] if msg is not None else []
+
+    def proofs_for_consumer(self, consumer: int,
+                            offered: RouteOrNull) -> List[BitProofMsg]:
+        """Section 4.5: a consumer gets proofs for every class its promise
+        ranks strictly above the class of the route it was offered."""
+        promise = self.promises[consumer]
+        offer_class = self.scheme.classify(offered)
+        out = []
+        for class_index in promise.classes_above(offer_class):
+            msg = self._proof_msg(consumer, class_index)
+            if msg is not None:
+                out.append(msg)
+        return out
+
+    def respond_to_challenge(self, challenger: int,
+                             class_index: int) -> Optional[BitProofMsg]:
+        """Answer a PROOFCHALLENGE relayed by any neighbor.
+
+        ``drop_proofs`` models an *initial* omission only, so the challenge
+        path ignores it; outright refusal is ``refuse_challenges``.
+        """
+        if self.behavior.refuse_challenges:
+            return None
+        if self._opening is None:
+            raise RuntimeError("commitment phase has not run")
+        opening = self._alt_opening \
+            if challenger in self.behavior.equivocate_to and \
+            self._alt_opening is not None else self._opening
+        proof = opening.prove(class_index)
+        if (challenger, class_index) in self.behavior.tamper_proofs:
+            proof = type(proof)(index=proof.index, bit=1 - proof.bit,
+                                blinding=proof.blinding,
+                                sibling_leaves=proof.sibling_leaves)
+        return BitProofMsg.make(self.signer, self.round_id, challenger,
+                                proof)

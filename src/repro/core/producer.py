@@ -1,0 +1,150 @@
+"""The producer role of VPref (Sections 4.4–4.5).
+
+A producer advertises one signed route to the elector, keeps the elector's
+acknowledgment, and during verification checks that the bit for its route's
+indifference class was committed as 1.  When that check fails it builds a
+PROOFCHALLENGE whose outcome is a transferable proof of misbehavior.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..bgp.route import NULL_ROUTE
+from ..crypto.keys import Identity, KeyRegistry
+from ..crypto.signatures import Signer
+from .classes import ClassScheme, RouteOrNull
+from .commitment import verify_flat_proof
+from .verdict import FaultKind, ProducerChallengePoM, Verdict
+from .wire import AdvertAck, BitProofMsg, CommitmentMsg, RouteAdvert
+
+
+class Producer:
+    """One VPref producer for a single prefix and round."""
+
+    def __init__(self, identity: Identity, registry: KeyRegistry,
+                 elector: int, scheme: ClassScheme, round_id: int = 0):
+        self.identity = identity
+        self.registry = registry
+        self.elector = elector
+        self.scheme = scheme
+        self.round_id = round_id
+        self.signer = Signer(identity)
+        self.advert: Optional[RouteAdvert] = None
+        self.ack: Optional[AdvertAck] = None
+        self.commitment: Optional[CommitmentMsg] = None
+
+    @property
+    def asn(self) -> int:
+        return self.identity.asn
+
+    @property
+    def route(self) -> RouteOrNull:
+        if self.advert is None:
+            raise RuntimeError("producer has not advertised yet")
+        return self.advert.route
+
+    # ------------------------------------------------------------------
+    # Commitment phase
+
+    def advertise(self, route: RouteOrNull) -> RouteAdvert:
+        """Step 1: sign and send the route."""
+        self.advert = RouteAdvert.make(self.signer, self.round_id,
+                                       self.elector, route)
+        return self.advert
+
+    def accept_ack(self, ack: Optional[AdvertAck]) -> Optional[Verdict]:
+        """Step 2 receipt; a missing or bad ack raises an alarm."""
+        if ack is None:
+            return Verdict(
+                detector=self.asn, accused=self.elector,
+                kind=FaultKind.MISSING_MESSAGE,
+                description="no acknowledgment for route advertisement",
+            )
+        if not ack.valid(self.registry) or \
+                ack.advert.envelope != self.advert.envelope:
+            return Verdict(
+                detector=self.asn, accused=self.elector,
+                kind=FaultKind.INVALID_SIGNATURE,
+                description="acknowledgment fails validation",
+            )
+        self.ack = ack
+        return None
+
+    def accept_commitment(self,
+                          msg: Optional[CommitmentMsg]) -> Optional[Verdict]:
+        """Step 5 receipt."""
+        if msg is None:
+            return Verdict(
+                detector=self.asn, accused=self.elector,
+                kind=FaultKind.MISSING_MESSAGE,
+                description="no commitment received",
+            )
+        if not msg.valid(self.registry) or msg.elector != self.elector or \
+                msg.round_id != self.round_id:
+            return Verdict(
+                detector=self.asn, accused=self.elector,
+                kind=FaultKind.INVALID_SIGNATURE,
+                description="commitment fails validation",
+            )
+        self.commitment = msg
+        return None
+
+    # ------------------------------------------------------------------
+    # Verification phase
+
+    def expects_proof(self) -> bool:
+        """Producers that sent ⊥ receive no bit proofs (Section 4.5)."""
+        return self.advert is not None and \
+            self.advert.route is not NULL_ROUTE
+
+    def evaluate_proofs(self, proofs: List[BitProofMsg]) -> List[Verdict]:
+        """Check the received proofs; build a PROOFCHALLENGE on failure.
+
+        A correct elector sends exactly one proof: a 1-proof for the class
+        containing this producer's route.
+        """
+        if not self.expects_proof():
+            if proofs:
+                return [Verdict(
+                    detector=self.asn, accused=self.elector,
+                    kind=FaultKind.UNEXPECTED_MESSAGE,
+                    description="bit proof received for a null input",
+                )]
+            return []
+        if self.commitment is None:
+            raise RuntimeError("cannot verify without a commitment")
+
+        my_class = self.scheme.classify(self.advert.route)
+        relevant = [p for p in proofs if p.proof.index == my_class]
+        response = relevant[0] if relevant else None
+
+        if response is not None and response.valid(self.registry):
+            proven = verify_flat_proof(self.commitment.root,
+                                       response.proof,
+                                       expected_k=self.scheme.k)
+            if proven == 1:
+                return []  # the elector committed to knowing our route
+
+        pom = ProducerChallengePoM(ack=self.ack,
+                                   commitment=self.commitment,
+                                   response=response)
+        kind = FaultKind.MISSING_PROOF if response is None else \
+            FaultKind.FALSE_BIT
+        return [Verdict(
+            detector=self.asn, accused=self.elector, kind=kind,
+            description=(
+                f"no valid 1-proof for class "
+                f"{self.scheme.labels[my_class]!r} containing our route"
+            ),
+            pom=pom,
+        )]
+
+    def challenge_response(self,
+                           response: Optional[BitProofMsg]) -> List[Verdict]:
+        """Re-evaluate after relaying a challenge through another AS.
+
+        Used when the original proof was missing: the elector gets one
+        more chance to produce it; a refusal or another bad proof is final.
+        """
+        return self.evaluate_proofs([response] if response else [])

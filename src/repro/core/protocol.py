@@ -1,0 +1,200 @@
+"""Synchronous orchestration of one VPref round (Sections 4.4–4.5).
+
+:func:`run_round` wires an elector, its producers, and its consumers
+together, executes the mandatory commitment phase and the optional
+verification phase, and returns every verdict raised by a correct
+participant.  It is the reference executable semantics of the algorithm —
+the property-based theorem tests in ``tests/core`` drive it with random
+promises, inputs, and misbehaviors.
+
+SPIDeR (:mod:`repro.spider`) runs the same logic per prefix over the MTT;
+this module keeps the single-prefix algorithm independently usable and
+testable, mirroring the paper's presentation order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..crypto.keys import Identity, KeyRegistry
+from .classes import ClassScheme, RouteOrNull
+from .consumer import Consumer
+from .elector import Behavior, CommitmentPhaseOutput, Elector, HONEST
+from .producer import Producer
+from .promise import Promise
+from .verdict import EquivocationPoM, FaultKind, Verdict
+from .wire import CommitmentMsg
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one VPref round."""
+
+    chosen: RouteOrNull
+    offers: Dict[int, RouteOrNull]
+    verdicts: List[Verdict]
+    commitments: Dict[int, CommitmentMsg]
+
+    @property
+    def clean(self) -> bool:
+        """True when no correct participant detected anything."""
+        return not self.verdicts
+
+    def detected_by(self, asn: int) -> List[Verdict]:
+        return [v for v in self.verdicts if v.detector == asn]
+
+    def poms(self) -> List[Verdict]:
+        return [v for v in self.verdicts if v.pom is not None]
+
+
+def _cross_check_commitments(
+        commitments: Dict[int, CommitmentMsg], registry: KeyRegistry,
+) -> List[Verdict]:
+    """The VERIFY broadcast step: neighbors compare their commitments.
+
+    Any two distinct, validly signed commitments for the same round are an
+    INVALIDCOMMIT proof of misbehavior (Section 4.5).
+    """
+    verdicts: List[Verdict] = []
+    seen_pairs = set()
+    for (asn_a, msg_a), (asn_b, msg_b) in itertools.combinations(
+            sorted(commitments.items()), 2):
+        if msg_a.root == msg_b.root:
+            continue
+        key = (msg_a.root, msg_b.root)
+        if key in seen_pairs:
+            continue
+        seen_pairs.add(key)
+        if msg_a.valid(registry) and msg_b.valid(registry):
+            pom = EquivocationPoM(first=msg_a, second=msg_b)
+            verdicts.append(Verdict(
+                detector=asn_a, accused=msg_a.elector,
+                kind=FaultKind.EQUIVOCATION,
+                description=(
+                    f"AS{asn_a} and AS{asn_b} hold different signed "
+                    "commitments for the same round"
+                ),
+                pom=pom,
+            ))
+    return verdicts
+
+
+def run_round(
+    registry: KeyRegistry,
+    elector_identity: Identity,
+    scheme: ClassScheme,
+    producer_identities: Dict[int, Identity],
+    producer_routes: Dict[int, RouteOrNull],
+    consumer_identities: Dict[int, Identity],
+    promises: Dict[int, Promise],
+    seed: bytes = b"vpref-round-seed",
+    round_id: int = 0,
+    behavior: Behavior = HONEST,
+    verify: bool = True,
+    private_rank=None,
+) -> RoundResult:
+    """Execute one complete VPref round.
+
+    ``producer_routes[asn]`` is what producer ``asn`` advertises (may be
+    ⊥).  ``promises[asn]`` is the promise made to consumer ``asn``; all
+    promises must share ``scheme``.  ``behavior`` injects elector faults.
+    When ``verify`` is False only the mandatory commitment phase runs.
+    """
+    if set(producer_identities) != set(producer_routes):
+        raise ValueError("producer identities and routes must match")
+    if set(consumer_identities) != set(promises):
+        raise ValueError("consumer identities and promises must match")
+
+    elector = Elector(elector_identity, registry, scheme, promises,
+                      seed=seed, round_id=round_id, behavior=behavior,
+                      private_rank=private_rank)
+    producers = {
+        asn: Producer(identity, registry, elector.asn, scheme,
+                      round_id=round_id)
+        for asn, identity in producer_identities.items()
+    }
+    consumers = {
+        asn: Consumer(identity, registry, elector.asn, promises[asn],
+                      elector.signed_promise_for(asn), round_id=round_id)
+        for asn, identity in consumer_identities.items()
+    }
+
+    verdicts: List[Verdict] = []
+
+    # --- Commitment phase, steps 1-2: advertise and acknowledge.
+    for asn, producer in producers.items():
+        advert = producer.advertise(producer_routes[asn])
+        ack = elector.receive_advert(advert)
+        verdict = producer.accept_ack(ack)
+        if verdict is not None:
+            verdicts.append(verdict)
+
+    # --- Steps 3-6: choice, bits, commitment, offers.
+    output: CommitmentPhaseOutput = elector.run_commitment_phase()
+
+    for asn, producer in producers.items():
+        verdict = producer.accept_commitment(output.commitments.get(asn))
+        if verdict is not None:
+            verdicts.append(verdict)
+    for asn, consumer in consumers.items():
+        verdict = consumer.accept_commitment(output.commitments.get(asn))
+        if verdict is not None:
+            verdicts.append(verdict)
+        verdict = consumer.accept_offer(output.offers.get(asn))
+        if verdict is not None:
+            verdicts.append(verdict)
+
+    offers = {asn: msg.offer for asn, msg in output.offers.items()}
+
+    if not verify:
+        return RoundResult(chosen=output.chosen, offers=offers,
+                           verdicts=verdicts,
+                           commitments=output.commitments)
+
+    # --- Verification phase: VERIFY broadcast + commitment cross-check.
+    verdicts.extend(
+        _cross_check_commitments(output.commitments, registry))
+
+    # --- Bit proofs to producers.
+    for asn, producer in producers.items():
+        proofs = elector.proofs_for_producer(asn)
+        initial = producer.evaluate_proofs(proofs)
+        for verdict in initial:
+            if verdict.kind is FaultKind.MISSING_PROOF:
+                # PROOFCHALLENGE: another AS relays the challenge; the
+                # elector gets a final chance to produce the proof.
+                response = elector.respond_to_challenge(
+                    asn, scheme.classify(producer.route))
+                final = producer.challenge_response(response)
+                verdicts.extend(final)
+            else:
+                verdicts.append(verdict)
+
+    # --- Bit proofs to consumers.
+    for asn, consumer in consumers.items():
+        if consumer.offer is None:
+            continue  # already raised MISSING_MESSAGE above
+        proofs = elector.proofs_for_consumer(asn, consumer.offer.offer)
+        initial = consumer.evaluate_proofs(proofs)
+        resolved: List[Verdict] = []
+        retried = False
+        for verdict in initial:
+            if verdict.kind is FaultKind.MISSING_PROOF and not retried:
+                retried = True
+                responses = []
+                for class_index in consumer.due_classes():
+                    response = elector.respond_to_challenge(asn,
+                                                            class_index)
+                    if response is not None:
+                        responses.append(response)
+                resolved = consumer.evaluate_proofs(proofs + responses)
+                break
+        else:
+            resolved = initial
+        verdicts.extend(resolved)
+
+    return RoundResult(chosen=output.chosen, offers=offers,
+                       verdicts=verdicts,
+                       commitments=output.commitments)

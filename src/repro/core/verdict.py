@@ -1,0 +1,197 @@
+"""Fault verdicts and proofs of misbehavior (PoMs).
+
+The *evidence* goal (Section 2.3, property 3) requires that a detector can
+convince an uninvolved third party.  Detections therefore come in two
+strengths:
+
+* an **alarm** — the detector saw something wrong (e.g. a missing message)
+  but holds no transferable proof; the paper handles these out of band;
+* a **PoM** — a self-contained object that :func:`validate_pom` accepts,
+  convincing any correct AS.
+
+The *accuracy* goal (property 4) is the flip side: :func:`validate_pom`
+must reject anything that can be fabricated against a correct AS — every
+PoM is anchored in signatures only the accused could have produced.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..bgp.route import NULL_ROUTE
+from ..crypto.keys import KeyRegistry
+from ..crypto.signatures import Signed
+from .classes import ClassScheme
+from .commitment import verify_flat_proof
+from .promise import Promise, verify_signed_promise
+from .wire import AdvertAck, BitProofMsg, CommitmentMsg, OfferMsg
+
+
+class FaultKind(enum.Enum):
+    """What a detector believes went wrong."""
+
+    INVALID_SIGNATURE = "invalid_signature"
+    MISSING_MESSAGE = "missing_message"
+    EQUIVOCATION = "equivocation"          # inconsistent commitments
+    FALSE_BIT = "false_bit"                # producer's class proven 0
+    BROKEN_PROMISE = "broken_promise"      # preferred class proven 1
+    INVALID_PROOF = "invalid_proof"        # bit proof fails verification
+    MISSING_PROOF = "missing_proof"        # a due bit proof never arrived
+    UNEXPECTED_MESSAGE = "unexpected_message"
+
+
+@dataclass(frozen=True)
+class EquivocationPoM:
+    """INVALIDCOMMIT evidence: two different signed commitments for one
+    round (Section 4.5)."""
+
+    first: CommitmentMsg
+    second: CommitmentMsg
+
+    @property
+    def accused(self) -> int:
+        return self.first.elector
+
+
+@dataclass(frozen=True)
+class ProducerChallengePoM:
+    """PROOFCHALLENGE evidence from a producer (Section 4.5).
+
+    Contains the elector's signed acknowledgment of the omitted route and
+    the elector's (invalid or 0-proving) bit-proof response, or None when
+    the elector refused to respond — "if the elector refuses, it
+    effectively admits its own guilt".
+    """
+
+    ack: AdvertAck
+    commitment: CommitmentMsg
+    response: Optional[BitProofMsg]
+
+    @property
+    def accused(self) -> int:
+        return self.ack.advert.elector
+
+
+@dataclass(frozen=True)
+class ConsumerChallengePoM:
+    """PROOFCHALLENGE evidence from a consumer (Section 4.5).
+
+    Contains (i) the elector's step-six offer, (ii) the signed promise
+    representation (Assumption 6), and (iii) the elector's responses for
+    the classes the promise ranks above the offer — any missing, invalid,
+    or 1-proving response convicts.
+    """
+
+    offer: OfferMsg
+    promise: Promise
+    signed_promise: Signed
+    commitment: CommitmentMsg
+    responses: Tuple[Optional[BitProofMsg], ...]
+    challenged_classes: Tuple[int, ...]
+
+    @property
+    def accused(self) -> int:
+        return self.offer.elector
+
+
+ProofOfMisbehavior = Union[EquivocationPoM, ProducerChallengePoM,
+                           ConsumerChallengePoM]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One detected fault, possibly with transferable evidence."""
+
+    detector: int
+    accused: int
+    kind: FaultKind
+    description: str
+    pom: Optional[ProofOfMisbehavior] = None
+
+    def __str__(self) -> str:
+        tail = " [PoM]" if self.pom is not None else " [alarm]"
+        return (f"AS{self.detector} accuses AS{self.accused} of "
+                f"{self.kind.value}: {self.description}{tail}")
+
+
+# ----------------------------------------------------------------------
+# Third-party validation (the evidence property)
+
+
+def _response_proves(registry: KeyRegistry, commitment: CommitmentMsg,
+                     response: BitProofMsg, class_index: int,
+                     k: int) -> Optional[int]:
+    """The bit a response validly proves for ``class_index``, else None."""
+    if response.elector != commitment.elector or \
+            response.round_id != commitment.round_id:
+        return None
+    if not response.valid(registry):
+        return None
+    if response.proof.index != class_index:
+        return None
+    return verify_flat_proof(commitment.root, response.proof, expected_k=k)
+
+
+def validate_pom(registry: KeyRegistry, scheme: ClassScheme,
+                 pom: ProofOfMisbehavior) -> bool:
+    """Would this evidence convince a correct third party?
+
+    Returns True iff the PoM genuinely convicts its accused AS.  Theorem 3
+    (accuracy) corresponds to this returning False for anything
+    constructible against a correct elector.
+    """
+    if isinstance(pom, EquivocationPoM):
+        return (
+            pom.first.elector == pom.second.elector
+            and pom.first.round_id == pom.second.round_id
+            and pom.first.root != pom.second.root
+            and pom.first.valid(registry)
+            and pom.second.valid(registry)
+        )
+
+    if isinstance(pom, ProducerChallengePoM):
+        if not pom.ack.valid(registry):
+            return False
+        if not pom.commitment.valid(registry):
+            return False
+        advert = pom.ack.advert
+        if advert.elector != pom.commitment.elector or \
+                advert.round_id != pom.commitment.round_id:
+            return False
+        if advert.route is NULL_ROUTE:
+            return False  # null inputs earn no bit proof (Section 4.5)
+        class_index = scheme.classify(advert.route)
+        if pom.response is None:
+            return True  # refusal to answer a valid challenge convicts
+        proven = _response_proves(registry, pom.commitment, pom.response,
+                                  class_index, scheme.k)
+        return proven != 1  # anything but a valid 1-proof convicts
+
+    if isinstance(pom, ConsumerChallengePoM):
+        if not pom.offer.valid(registry) or \
+                not pom.commitment.valid(registry):
+            return False
+        if pom.offer.elector != pom.commitment.elector or \
+                pom.offer.round_id != pom.commitment.round_id:
+            return False
+        if not verify_signed_promise(registry, pom.offer.elector,
+                                     pom.promise, pom.signed_promise):
+            return False
+        offer_class = pom.promise.scheme.classify(pom.offer.offer)
+        expected = pom.promise.classes_above(offer_class)
+        if tuple(pom.challenged_classes) != expected:
+            return False
+        if len(pom.responses) != len(expected):
+            return False
+        for class_index, response in zip(expected, pom.responses):
+            if response is None:
+                return True  # missing response convicts
+            proven = _response_proves(registry, pom.commitment, response,
+                                      class_index, pom.promise.scheme.k)
+            if proven != 0:
+                return True  # invalid proof or a proven 1 bit convicts
+        return False
+
+    raise TypeError(f"unknown PoM type {type(pom).__name__}")

@@ -1,0 +1,246 @@
+"""Wire messages for single-prefix VPref (Sections 4.4–4.5).
+
+Every message is a structured object carrying a :class:`~repro.crypto.signatures.Signed`
+envelope whose payload is the message's canonical encoding; validators
+recompute the expected payload and verify the signature, so a message
+cannot be replayed with altered fields.  ``round_id`` is the logical
+counter of Assumption 4 (one VPref execution per round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bgp.route import NULL_ROUTE
+from ..crypto.hashing import digest_fields
+from ..crypto.keys import KeyRegistry
+from ..crypto.signatures import Signed, Signer, Verifier
+from .classes import RouteOrNull
+from .commitment import FlatBitProof
+
+
+def _route_bytes(route: RouteOrNull) -> bytes:
+    return route.to_bytes()
+
+
+# ----------------------------------------------------------------------
+# Step 1: producer route advertisement
+
+
+def advert_payload(round_id: int, producer: int, elector: int,
+                   route: RouteOrNull) -> bytes:
+    return digest_fields(b"VPREF-ROUTE", round_id.to_bytes(8, "big"),
+                         producer.to_bytes(4, "big"),
+                         elector.to_bytes(4, "big"), _route_bytes(route))
+
+
+@dataclass(frozen=True)
+class RouteAdvert:
+    """``σ_{P_i}(r_i)``: producer i advertises its route to the elector."""
+
+    round_id: int
+    producer: int
+    elector: int
+    route: RouteOrNull
+    envelope: Signed
+
+    @classmethod
+    def make(cls, signer: Signer, round_id: int, elector: int,
+             route: RouteOrNull) -> "RouteAdvert":
+        payload = advert_payload(round_id, signer.asn, elector, route)
+        return cls(round_id=round_id, producer=signer.asn, elector=elector,
+                   route=route, envelope=signer.sign(payload))
+
+    def valid(self, registry: KeyRegistry) -> bool:
+        if self.envelope.signer != self.producer:
+            return False
+        expected = advert_payload(self.round_id, self.producer,
+                                  self.elector, self.route)
+        return self.envelope.payload == expected and \
+            Verifier(registry).verify(self.envelope)
+
+
+# ----------------------------------------------------------------------
+# Step 2: elector acknowledgment
+
+
+def ack_payload(advert_envelope: Signed) -> bytes:
+    return digest_fields(b"VPREF-ACK",
+                         advert_envelope.signer.to_bytes(4, "big"),
+                         advert_envelope.payload,
+                         advert_envelope.signature)
+
+
+@dataclass(frozen=True)
+class AdvertAck:
+    """``σ_E(σ_{P_i}(r_i))``: the elector's receipt for an advert."""
+
+    advert: RouteAdvert
+    envelope: Signed
+
+    @classmethod
+    def make(cls, signer: Signer, advert: RouteAdvert) -> "AdvertAck":
+        return cls(advert=advert,
+                   envelope=signer.sign(ack_payload(advert.envelope)))
+
+    def valid(self, registry: KeyRegistry) -> bool:
+        if self.envelope.signer != self.advert.elector:
+            return False
+        if not self.advert.valid(registry):
+            return False
+        return self.envelope.payload == ack_payload(self.advert.envelope) \
+            and Verifier(registry).verify(self.envelope)
+
+
+# ----------------------------------------------------------------------
+# Step 5: commitment
+
+
+def commitment_payload(round_id: int, elector: int, root: bytes) -> bytes:
+    return digest_fields(b"VPREF-COMMIT", round_id.to_bytes(8, "big"),
+                         elector.to_bytes(4, "big"), root)
+
+
+@dataclass(frozen=True)
+class CommitmentMsg:
+    """``σ_E(h)``: the signed commitment broadcast to all neighbors."""
+
+    round_id: int
+    elector: int
+    root: bytes
+    envelope: Signed
+
+    @classmethod
+    def make(cls, signer: Signer, round_id: int,
+             root: bytes) -> "CommitmentMsg":
+        payload = commitment_payload(round_id, signer.asn, root)
+        return cls(round_id=round_id, elector=signer.asn, root=root,
+                   envelope=signer.sign(payload))
+
+    def valid(self, registry: KeyRegistry) -> bool:
+        if self.envelope.signer != self.elector:
+            return False
+        expected = commitment_payload(self.round_id, self.elector,
+                                      self.root)
+        return self.envelope.payload == expected and \
+            Verifier(registry).verify(self.envelope)
+
+
+# ----------------------------------------------------------------------
+# Step 6: the elector's offer to each consumer
+
+
+def offer_payload(round_id: int, elector: int, consumer: int,
+                  offer: RouteOrNull,
+                  producer_envelope: Optional[Signed]) -> bytes:
+    producer_part = b"" if producer_envelope is None else (
+        producer_envelope.payload + producer_envelope.signature)
+    return digest_fields(b"VPREF-OFFER", round_id.to_bytes(8, "big"),
+                         elector.to_bytes(4, "big"),
+                         consumer.to_bytes(4, "big"),
+                         _route_bytes(offer), producer_part)
+
+
+@dataclass(frozen=True)
+class OfferMsg:
+    """Step 6 message: ``σ_E(C_j, ⊥)`` or ``σ_E(C_j, σ_{P_i}(r_i), σ_E(r_i))``.
+
+    For a real route, ``producer_advert`` is the producer's original signed
+    advert (proving the route exists and was not fabricated by E — the
+    inner ``σ_P``), and the outer envelope is E's signature that the
+    consumer can use when propagating the route further.
+    """
+
+    round_id: int
+    elector: int
+    consumer: int
+    offer: RouteOrNull
+    producer_advert: Optional[RouteAdvert]
+    envelope: Signed
+
+    @classmethod
+    def make(cls, signer: Signer, round_id: int, consumer: int,
+             offer: RouteOrNull,
+             producer_advert: Optional[RouteAdvert]) -> "OfferMsg":
+        inner = None if producer_advert is None else \
+            producer_advert.envelope
+        payload = offer_payload(round_id, signer.asn, consumer, offer,
+                                inner)
+        return cls(round_id=round_id, elector=signer.asn,
+                   consumer=consumer, offer=offer,
+                   producer_advert=producer_advert,
+                   envelope=signer.sign(payload))
+
+    def valid(self, registry: KeyRegistry) -> bool:
+        if self.envelope.signer != self.elector:
+            return False
+        if self.offer is NULL_ROUTE:
+            if self.producer_advert is not None:
+                return False
+        else:
+            # A real offer must carry a valid producer advert for the same
+            # route and round.
+            advert = self.producer_advert
+            if advert is None or not advert.valid(registry):
+                return False
+            if advert.route != self.offer or \
+                    advert.round_id != self.round_id or \
+                    advert.elector != self.elector:
+                return False
+        inner = None if self.producer_advert is None else \
+            self.producer_advert.envelope
+        expected = offer_payload(self.round_id, self.elector,
+                                 self.consumer, self.offer, inner)
+        return self.envelope.payload == expected and \
+            Verifier(registry).verify(self.envelope)
+
+
+# ----------------------------------------------------------------------
+# Verification phase: bit proofs
+
+
+def bit_proof_payload(round_id: int, elector: int, recipient: int,
+                      proof: FlatBitProof) -> bytes:
+    return digest_fields(b"VPREF-BITPROOF", round_id.to_bytes(8, "big"),
+                         elector.to_bytes(4, "big"),
+                         recipient.to_bytes(4, "big"), proof.encode())
+
+
+@dataclass(frozen=True)
+class BitProofMsg:
+    """A signed bit proof sent to one neighbor during verification."""
+
+    round_id: int
+    elector: int
+    recipient: int
+    proof: FlatBitProof
+    envelope: Signed
+
+    @classmethod
+    def make(cls, signer: Signer, round_id: int, recipient: int,
+             proof: FlatBitProof) -> "BitProofMsg":
+        payload = bit_proof_payload(round_id, signer.asn, recipient, proof)
+        return cls(round_id=round_id, elector=signer.asn,
+                   recipient=recipient, proof=proof,
+                   envelope=signer.sign(payload))
+
+    def valid(self, registry: KeyRegistry) -> bool:
+        if self.envelope.signer != self.elector:
+            return False
+        expected = bit_proof_payload(self.round_id, self.elector,
+                                     self.recipient, self.proof)
+        return self.envelope.payload == expected and \
+            Verifier(registry).verify(self.envelope)
+
+
+# ----------------------------------------------------------------------
+# Verification trigger
+
+
+@dataclass(frozen=True)
+class VerifyRequest:
+    """``VERIFY(σ_E(h))``: any neighbor may broadcast this (Section 4.5)."""
+
+    commitment: CommitmentMsg
+    requester: int

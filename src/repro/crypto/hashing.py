@@ -1,0 +1,90 @@
+"""Cryptographic hashing as used by SPIDeR.
+
+The paper (Section 7.1) uses SHA-512 but keeps only the first 20 bytes of
+each digest to save space.  All commitments, Merkle labels, and message
+digests in this reproduction go through :func:`digest`, which applies the
+same truncation.
+
+Domain separation
+-----------------
+The paper composes hashes by concatenation, e.g. ``H(b_i || x_i)`` for a bit
+node and ``H(l_1 || ... || l_k)`` for an inner node.  Because every label and
+random bitstring has the fixed length :data:`DIGEST_SIZE`, plain
+concatenation is injective on the inputs the protocol ever hashes, so no
+extra framing is required to match the paper.  For hashing variable-length
+application messages we provide :func:`digest_fields`, which length-prefixes
+each field so distinct field tuples can never collide by concatenation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+#: Number of digest bytes retained (the paper truncates SHA-512 to 20 bytes).
+DIGEST_SIZE = 20
+
+#: Underlying hash algorithm name (for documentation and sanity checks).
+ALGORITHM = "sha512"
+
+
+def digest(data: bytes) -> bytes:
+    """Return the truncated SHA-512 digest of ``data``.
+
+    This is the hash function *H* from the paper: SHA-512 truncated to the
+    first :data:`DIGEST_SIZE` bytes (Section 7.1).
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError(f"digest() requires bytes, got {type(data).__name__}")
+    return hashlib.sha512(bytes(data)).digest()[:DIGEST_SIZE]
+
+
+def digest_concat(*parts: bytes) -> bytes:
+    """Hash the plain concatenation of ``parts``.
+
+    Mirrors the paper's ``H(l_1 || ... || l_k)``.  Callers must ensure the
+    parts have fixed width (as Merkle labels do); use :func:`digest_fields`
+    for variable-length data.
+    """
+    return digest(b"".join(parts))
+
+
+def digest_fields(*fields: bytes) -> bytes:
+    """Hash a tuple of variable-length byte fields unambiguously.
+
+    Each field is prefixed with its 4-byte big-endian length, so no two
+    distinct tuples produce the same preimage.
+    """
+    buf = bytearray()
+    for field in fields:
+        if not isinstance(field, (bytes, bytearray, memoryview)):
+            raise TypeError(
+                f"digest_fields() requires bytes, got {type(field).__name__}"
+            )
+        buf += len(field).to_bytes(4, "big")
+        buf += bytes(field)
+    return digest(bytes(buf))
+
+
+def digest_iter(parts: Iterable[bytes]) -> bytes:
+    """Streaming variant of :func:`digest_concat` for large inputs."""
+    h = hashlib.sha512()
+    for part in parts:
+        h.update(part)
+    return h.digest()[:DIGEST_SIZE]
+
+
+def bit_commitment(bit: int, blinding: bytes) -> bytes:
+    """Commit to a single bit: ``H(b || x)`` from VPref step 4.
+
+    ``bit`` must be 0 or 1; ``blinding`` is the random bitstring ``x``.  The
+    bit is encoded as a single byte so the preimage has fixed layout.
+    """
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+    if len(blinding) != DIGEST_SIZE:
+        raise ValueError(
+            f"blinding must be {DIGEST_SIZE} bytes (same length as a hash "
+            f"value, per Section 5.3), got {len(blinding)}"
+        )
+    return digest(bytes([bit]) + blinding)

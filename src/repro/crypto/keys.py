@@ -1,0 +1,81 @@
+"""Key distribution for SPIDeR participants.
+
+Assumption 5 of the paper (Section 4.2) states that the public keys of all
+ASes are known to everyone, and notes that deploying the RPKI would satisfy
+this.  This module is the in-simulation stand-in for the RPKI: a registry
+mapping AS numbers to RSA public keys, plus per-AS identity objects that
+bundle an AS number with its private key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from . import rsa
+
+
+class UnknownKeyError(KeyError):
+    """Raised when a public key is requested for an unregistered AS."""
+
+
+@dataclass(frozen=True)
+class Identity:
+    """An AS's cryptographic identity: its number and private key."""
+
+    asn: int
+    private_key: rsa.PrivateKey
+
+    @property
+    def public_key(self) -> rsa.PublicKey:
+        return self.private_key.public_key
+
+
+@dataclass
+class KeyRegistry:
+    """Shared directory of AS public keys (the RPKI stand-in).
+
+    The registry is append-only in normal operation: re-registering an AS
+    with a different key raises, mirroring the fact that RPKI certificates
+    pin an AS to its key.
+    """
+
+    _keys: Dict[int, rsa.PublicKey] = field(default_factory=dict)
+
+    def register(self, asn: int, public_key: rsa.PublicKey) -> None:
+        existing = self._keys.get(asn)
+        if existing is not None and existing != public_key:
+            raise ValueError(f"AS {asn} is already registered with a "
+                             "different public key")
+        self._keys[asn] = public_key
+
+    def public_key(self, asn: int) -> rsa.PublicKey:
+        try:
+            return self._keys[asn]
+        except KeyError:
+            raise UnknownKeyError(f"no public key registered for AS {asn}")
+
+    def knows(self, asn: int) -> bool:
+        return asn in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._keys)
+
+
+def make_identity(asn: int, registry: Optional[KeyRegistry] = None,
+                  bits: int = rsa.DEFAULT_KEY_BITS,
+                  seed: Optional[int] = None) -> Identity:
+    """Generate a keypair for ``asn`` and register it.
+
+    When ``seed`` is omitted, a deterministic seed derived from the AS
+    number is *not* used — real entropy is.  Simulations pass an explicit
+    seed for reproducibility.
+    """
+    key = rsa.generate_keypair(bits=bits, seed=seed)
+    identity = Identity(asn=asn, private_key=key)
+    if registry is not None:
+        registry.register(asn, identity.public_key)
+    return identity

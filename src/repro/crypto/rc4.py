@@ -1,0 +1,94 @@
+"""RC4 stream cipher and the CSPRNG used for MTT blinding strings.
+
+The SPIDeR prototype (Section 7.1) implements its cryptographically secure
+pseudo-random number generator by "encrypting sequences of zeroes with RC4,
+discarding the first 3,072 bytes to mitigate known weaknesses in RC4".  The
+generator is seeded with a fresh secret per commitment (Section 6.5) so the
+proof generator can later *reconstruct* the blinding bitstrings from the
+stored seed instead of storing every bitstring.
+
+RC4 is obsolete as a cipher; it is reproduced here because the paper's
+storage result (32 bytes of MTT data per commitment, Section 7.7) depends on
+exactly this reconstruct-from-seed design.  Nothing outside this module
+depends on RC4 specifically — any deterministic seeded generator with the
+same interface would do.
+"""
+
+from __future__ import annotations
+
+from .hashing import DIGEST_SIZE
+
+#: Bytes of keystream discarded after keying, per the paper (RC4-drop3072).
+DROP_BYTES = 3072
+
+
+class Rc4:
+    """Plain RC4 keystream generator (KSA + PRGA)."""
+
+    def __init__(self, key: bytes):
+        if not 1 <= len(key) <= 256:
+            raise ValueError("RC4 key must be between 1 and 256 bytes")
+        state = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + state[i] + key[i % len(key)]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+        self._state = state
+        self._i = 0
+        self._j = 0
+
+    def keystream(self, n: int) -> bytes:
+        """Return the next ``n`` keystream bytes."""
+        if n < 0:
+            raise ValueError("keystream length must be non-negative")
+        state = self._state
+        i, j = self._i, self._j
+        out = bytearray(n)
+        for k in range(n):
+            i = (i + 1) & 0xFF
+            j = (j + state[i]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+            out[k] = state[(state[i] + state[j]) & 0xFF]
+        self._i, self._j = i, j
+        return bytes(out)
+
+    def encrypt(self, data: bytes) -> bytes:
+        """XOR ``data`` with the keystream (encryption == decryption)."""
+        stream = self.keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+
+class Rc4Csprng:
+    """Seeded deterministic generator for blinding bitstrings.
+
+    Encrypting zeroes with RC4 yields the raw keystream, so this simply
+    drops :data:`DROP_BYTES` and then serves keystream bytes.  Two instances
+    built from the same seed produce identical output, which is what lets
+    the proof generator rebuild a past MTT's random bitstrings from the
+    32-byte stored seed (Section 6.5).
+    """
+
+    def __init__(self, seed: bytes):
+        if len(seed) == 0:
+            raise ValueError("CSPRNG seed must be non-empty")
+        self._seed = bytes(seed)
+        self._rc4 = Rc4(self._seed[:256])
+        self._rc4.keystream(DROP_BYTES)
+
+    @property
+    def seed(self) -> bytes:
+        """The seed this generator was built from (stored in the log)."""
+        return self._seed
+
+    def bitstring(self) -> bytes:
+        """Return one blinding bitstring.
+
+        Per Section 5.3, all random bitstrings must have the same length as
+        a hash value so that dummy labels are indistinguishable from real
+        Merkle labels.
+        """
+        return self._rc4.keystream(DIGEST_SIZE)
+
+    def bytes(self, n: int) -> bytes:
+        """Return ``n`` raw pseudo-random bytes."""
+        return self._rc4.keystream(n)

@@ -1,0 +1,18 @@
+"""Fault injection: the §7.4 functionality checks and their primitives."""
+
+from .injector import EquivocatingRecorder, FilteringRecorder, \
+    install_export_filter, install_import_filter, tamper_bit_proof, \
+    tamper_proof_set
+from .scenarios import ALL_SCENARIOS, ScenarioResult, SECRET_ORIGIN, \
+    clean_baseline, equivocating_commitments, overaggressive_filter, \
+    selective_export_scheme_for_spider, tampered_bit_proof, \
+    wrongly_exporting, wrongly_exporting_fixed
+
+__all__ = [
+    "EquivocatingRecorder", "FilteringRecorder", "install_export_filter",
+    "install_import_filter", "tamper_bit_proof", "tamper_proof_set",
+    "ALL_SCENARIOS", "ScenarioResult", "SECRET_ORIGIN", "clean_baseline",
+    "equivocating_commitments", "overaggressive_filter",
+    "selective_export_scheme_for_spider", "tampered_bit_proof",
+    "wrongly_exporting", "wrongly_exporting_fixed",
+]

@@ -1,0 +1,149 @@
+"""Fault-injection primitives.
+
+Each injector makes one component misbehave in a specific way while the
+rest of the system stays correct, so tests can verify that the paper's
+detection guarantees hold against exactly that deviation:
+
+* :class:`FilteringRecorder` — hides a neighbor's announcements from the
+  committed state (the over-aggressive filter of §7.4, as it manifests at
+  the recorder: the AS's routers dropped the route, so the mirrored state
+  the MTT is built from is missing it);
+* :class:`EquivocatingRecorder` — sends different commitments to chosen
+  neighbors (the INVALIDCOMMIT case of §4.5);
+* :func:`install_import_filter` — makes the *BGP speaker* drop matching
+  routes on import, so its decisions really do ignore them;
+* :func:`install_export_filter` — suppresses matching routes on export
+  (used to build the *honest* variant of the selective-export scenario);
+* :func:`tamper_bit_proof` — re-signs a bit proof with the bit flipped
+  (§7.4's "tampered bit proof").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set
+
+from ..bgp.prefix import Prefix
+from ..bgp.route import Route
+from ..bgp.speaker import Speaker
+from ..crypto.signatures import Signer
+from ..mtt.proofs import MttBitProof
+from ..spider.proofgen import ProofSet
+from ..spider.recorder import Recorder
+from ..spider.wire import SpiderAnnounce, SpiderBitProof, SpiderCommitment
+
+
+class FilteringRecorder(Recorder):
+    """A recorder that pretends selected announcements never arrived.
+
+    It still acknowledges them (a missing ACK would raise an immediate
+    alarm), but neither logs them nor counts them in commitments — the
+    stealthy version of losing a route.
+    """
+
+    def __init__(self, *args, drop_from: int,
+                 drop_prefixes: Optional[Set[Prefix]] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.drop_from = drop_from
+        self.drop_prefixes = drop_prefixes
+        self.dropped: list = []
+
+    def _should_drop(self, message: SpiderAnnounce) -> bool:
+        if message.sender != self.drop_from:
+            return False
+        return self.drop_prefixes is None or \
+            message.prefix in self.drop_prefixes
+
+    def _receive_announce(self, message: SpiderAnnounce) -> None:
+        if isinstance(message, SpiderAnnounce) and \
+                self._should_drop(message):
+            if message.valid(self.registry):
+                self.dropped.append(message)
+                self._send_ack(message.sender, message.message_hash())
+            return
+        super()._receive_announce(message)
+
+
+class EquivocatingRecorder(Recorder):
+    """A recorder that commits differently toward selected neighbors."""
+
+    def __init__(self, *args, lie_to: Set[int], **kwargs):
+        super().__init__(*args, **kwargs)
+        self.lie_to = set(lie_to)
+
+    def make_commitment(self):
+        record = super().make_commitment()
+        # Overwrite what the chosen neighbors received with a second,
+        # inconsistent commitment (same time, different root).
+        fake_root = bytes(b ^ 0xFF for b in record.root)
+        fake = SpiderCommitment.make(self.signer, record.commit_time,
+                                     fake_root)
+        for neighbor in self.lie_to:
+            self.transport(neighbor, fake)
+        return record
+
+
+def install_import_filter(speaker: Speaker,
+                          predicate: Callable[[Route, int], bool]) -> None:
+    """Make the speaker's import policy drop routes matching
+    ``predicate(route, neighbor)`` — the over-aggressive filter."""
+    policy = speaker.import_policy
+    original = policy.apply
+
+    def filtering_apply(route: Route, neighbor: int):
+        if predicate(route, neighbor):
+            return None
+        return original(route, neighbor)
+
+    policy.apply = filtering_apply  # type: ignore[method-assign]
+
+
+def install_export_filter(speaker: Speaker,
+                          predicate: Callable[[Route, int], bool]) -> None:
+    """Suppress exports matching ``predicate(route, neighbor)``."""
+    policy = speaker.export_policy
+    original = policy.apply
+
+    def filtering_apply(route: Route, neighbor: int):
+        if predicate(route, neighbor):
+            return None
+        return original(route, neighbor)
+
+    policy.apply = filtering_apply  # type: ignore[method-assign]
+
+
+def tamper_bit_proof(signer: Signer, message: SpiderBitProof,
+                     ) -> SpiderBitProof:
+    """The elector re-signs a proof with the bit flipped (§7.4 fault 3).
+
+    The signature is fresh and valid — only the Merkle arithmetic can
+    (and does) expose the lie.
+    """
+    proof = message.proof
+    flipped = MttBitProof(prefix=proof.prefix,
+                          class_index=proof.class_index,
+                          bit=1 - proof.bit, blinding=proof.blinding,
+                          steps=proof.steps)
+    return SpiderBitProof.make(signer, message.recipient,
+                               message.commit_time, flipped)
+
+
+def tamper_proof_set(signer: Signer, proofs: ProofSet, prefix: Prefix,
+                     class_index: Optional[int] = None) -> ProofSet:
+    """Return a copy of ``proofs`` with matching proofs tampered."""
+    result = ProofSet(elector=proofs.elector, recipient=proofs.recipient,
+                      commit_time=proofs.commit_time,
+                      generation_seconds=proofs.generation_seconds)
+    for p, message in proofs.producer_proofs.items():
+        if p == prefix and (class_index is None or
+                            message.proof.class_index == class_index):
+            message = tamper_bit_proof(signer, message)
+        result.producer_proofs[p] = message
+    for p, messages in proofs.consumer_proofs.items():
+        out = []
+        for message in messages:
+            if p == prefix and (class_index is None or
+                                message.proof.class_index == class_index):
+                message = tamper_bit_proof(signer, message)
+            out.append(message)
+        result.consumer_proofs[p] = out
+    return result

@@ -1,0 +1,262 @@
+"""The Section 7.4 functionality-check scenarios, end to end.
+
+Each scenario builds the Figure 5 network with SPIDeR deployed, injects
+one fault at AS 5, runs the workload to quiescence, commits, triggers
+verification, and reports who detected what.  A clean baseline scenario
+establishes that detection is not a false positive.
+
+The scenarios mirror the paper's three injected faults:
+
+1. **Over-aggressive filter** — AS 5 drops a good upstream route; the
+   *upstream* AS detects the missing/false bit proof.
+2. **Wrongly exporting** — a route marked not-for-export is exported;
+   the *downstream* AS holds a 1-proof for the null route, which its
+   promise ranks above what it received.
+3. **Tampered bit proof** — AS 5 flips a bit in a proof; the downstream
+   AS finds the proof does not match the committed hash.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..bgp.prefix import Prefix
+from ..bgp.route import NULL_ROUTE
+from ..core.classes import ClassScheme
+from ..core.verdict import FaultKind
+from ..netsim.network import Network, TraceEvent
+from ..netsim.topology import FOCUS_AS, INJECTION_AS, figure5_topology
+from ..spider.config import SpiderConfig
+from ..spider.node import SpiderDeployment, VerificationOutcome, \
+    evaluation_scheme
+from .injector import FilteringRecorder, install_export_filter, \
+    install_import_filter, tamper_proof_set
+
+#: Origin AS whose routes are 'not for export' in scenario 2.
+SECRET_ORIGIN = 6666
+
+FEED_ASN = 65000
+
+GOOD_PREFIX = Prefix.parse("203.0.113.0/24")
+SECRET_PREFIX = Prefix.parse("198.51.100.0/24")
+FILLER_PREFIX = Prefix.parse("192.0.2.0/24")
+
+
+@dataclass
+class ScenarioResult:
+    """What one functionality-check run produced."""
+
+    name: str
+    outcomes: List[VerificationOutcome]
+    detectors: Dict[int, Set[FaultKind]] = field(default_factory=dict)
+
+    @property
+    def detected(self) -> bool:
+        return any(self.detectors.values())
+
+    @classmethod
+    def from_outcomes(cls, name: str,
+                      outcomes: List[VerificationOutcome]
+                      ) -> "ScenarioResult":
+        detectors: Dict[int, Set[FaultKind]] = {}
+        for outcome in outcomes:
+            for verdict in outcome.report.verdicts:
+                detectors.setdefault(outcome.neighbor, set()).add(
+                    verdict.kind)
+        return cls(name=name, outcomes=outcomes, detectors=detectors)
+
+
+def selective_export_scheme_for_spider() -> ClassScheme:
+    """A path-based never-export scheme usable across the whole AS graph:
+    routes originated by :data:`SECRET_ORIGIN` must not be exported."""
+    def classify(route):
+        if route is NULL_ROUTE:
+            return 1
+        return 0 if route.traverses(SECRET_ORIGIN) else 2
+    return ClassScheme(
+        labels=("not-for-export", "no-route", "exportable"),
+        classify_fn=classify)
+
+
+def _build(scheme=None, recorder_factories=None,
+           config: Optional[SpiderConfig] = None
+           ) -> Tuple[Network, SpiderDeployment]:
+    network = Network(figure5_topology())
+    deployment = SpiderDeployment(
+        network, scheme=scheme,
+        config=config or SpiderConfig(commit_interval=60.0),
+        recorder_factories=recorder_factories)
+    network.attach_feed(INJECTION_AS, feed_asn=FEED_ASN)
+    return network, deployment
+
+
+def _standard_workload(network: Network) -> None:
+    network.schedule_trace(FEED_ASN, [
+        TraceEvent(1.0, FILLER_PREFIX, (FEED_ASN, 4000, 4001)),
+    ])
+    network.originate(9, GOOD_PREFIX)
+    network.settle()
+
+
+def clean_baseline() -> ScenarioResult:
+    """No fault: verification of AS 5 must come back clean."""
+    network, deployment = _build(scheme=evaluation_scheme(10))
+    _standard_workload(network)
+    deployment.commit_now(FOCUS_AS)
+    outcomes = deployment.verify(FOCUS_AS)
+    return ScenarioResult.from_outcomes("clean-baseline", outcomes)
+
+
+def overaggressive_filter() -> ScenarioResult:
+    """Fault 1: AS 5 filters the good route it learned from AS 7.
+
+    AS 7 supplies AS 5's shortest route to GOOD_PREFIX (origin AS 9 sits
+    below AS 7).  AS 5's routers drop it, so AS 5 routes via a longer
+    path and its recorder commits a 0 bit for the short route's class —
+    which AS 7, holding the elector's acknowledgment, detects.
+    """
+    scheme = evaluation_scheme(10)
+    factories = {
+        FOCUS_AS: functools.partial(FilteringRecorder, drop_from=7,
+                                    drop_prefixes={GOOD_PREFIX}),
+    }
+    network, deployment = _build(scheme=scheme,
+                                 recorder_factories=factories)
+    install_import_filter(
+        network.speaker(FOCUS_AS),
+        lambda route, neighbor: neighbor == 7 and
+        route.prefix == GOOD_PREFIX)
+    _standard_workload(network)
+    deployment.commit_now(FOCUS_AS)
+    outcomes = deployment.verify(FOCUS_AS)
+    return ScenarioResult.from_outcomes("overaggressive-filter", outcomes)
+
+
+def wrongly_exporting() -> ScenarioResult:
+    """Fault 2: AS 5 exports a route that its promise says never to.
+
+    The promise scheme places not-for-export routes below the null
+    route; AS 5's (unfixed) export policy passes the route on anyway.
+    """
+    scheme = selective_export_scheme_for_spider()
+    network, deployment = _build(scheme=scheme)
+    network.schedule_trace(FEED_ASN, [
+        TraceEvent(1.0, SECRET_PREFIX,
+                   (FEED_ASN, 4000, SECRET_ORIGIN)),
+    ])
+    network.settle()
+    deployment.commit_now(FOCUS_AS)
+    outcomes = deployment.verify(FOCUS_AS)
+    return ScenarioResult.from_outcomes("wrongly-exporting", outcomes)
+
+
+def wrongly_exporting_fixed() -> ScenarioResult:
+    """The honest counterpart of fault 2: the export filter is in place,
+    so AS 5 withholds the route and verification is clean."""
+    scheme = selective_export_scheme_for_spider()
+    network, deployment = _build(scheme=scheme)
+    for asn in network.speakers:
+        install_export_filter(
+            network.speaker(asn),
+            lambda route, neighbor: route.traverses(SECRET_ORIGIN))
+    network.schedule_trace(FEED_ASN, [
+        TraceEvent(1.0, SECRET_PREFIX,
+                   (FEED_ASN, 4000, SECRET_ORIGIN)),
+    ])
+    network.settle()
+    deployment.commit_now(FOCUS_AS)
+    outcomes = deployment.verify(FOCUS_AS)
+    return ScenarioResult.from_outcomes("wrongly-exporting-fixed",
+                                        outcomes)
+
+
+def tampered_bit_proof() -> ScenarioResult:
+    """Fault 3: AS 5 flips a bit in a proof sent downstream.
+
+    AS 5's BGP drops the good route from AS 7 (so its exports really are
+    worse), but its recorder honestly commits the 1 bit; to hide the
+    inconsistency from downstream AS 8, it tampers with the proof.  The
+    Merkle arithmetic exposes it.
+    """
+    scheme = evaluation_scheme(10)
+    network, deployment = _build(scheme=scheme)
+    install_import_filter(
+        network.speaker(FOCUS_AS),
+        lambda route, neighbor: neighbor == 7 and
+        route.prefix == GOOD_PREFIX)
+    # A longer alternative path via the feed keeps AS 5 exporting
+    # *something* for GOOD_PREFIX after it filtered the short route.
+    network.schedule_trace(FEED_ASN, [
+        TraceEvent(0.5, GOOD_PREFIX, (FEED_ASN, 4000, 4001, 9)),
+    ])
+    _standard_workload(network)
+    deployment.commit_now(FOCUS_AS)
+
+    elector_node = deployment.node(FOCUS_AS)
+    commit_time = elector_node.recorder.commitments[-1].commit_time
+    reconstruction = elector_node.proofgen.reconstruct(commit_time)
+
+    outcomes: List[VerificationOutcome] = []
+    for neighbor in (7, 8):
+        node = deployment.node(neighbor)
+        proofs = elector_node.proofgen.proofs_for(reconstruction,
+                                                  neighbor)
+        if neighbor == 8:
+            proofs = tamper_proof_set(elector_node.recorder.signer,
+                                      proofs, GOOD_PREFIX)
+        commitment = node.commitment_from(FOCUS_AS, commit_time) or \
+            elector_node.recorder.commitments[-1].message
+        view = node.view_at(commit_time)
+        report = node.checker.check(
+            commitment, proofs,
+            my_exports_to_elector=view.exports.get(FOCUS_AS, {}),
+            my_imports_from_elector=view.imports.get(FOCUS_AS, {}),
+            promise=elector_node.recorder.promises.get(neighbor))
+        outcomes.append(VerificationOutcome(
+            elector=FOCUS_AS, neighbor=neighbor,
+            commit_time=commit_time, proofs=proofs, report=report))
+    return ScenarioResult.from_outcomes("tampered-bit-proof", outcomes)
+
+
+def equivocating_commitments() -> ScenarioResult:
+    """Bonus fault: inconsistent commitments to different neighbors."""
+    from .injector import EquivocatingRecorder
+    scheme = evaluation_scheme(10)
+    factories = {
+        FOCUS_AS: functools.partial(EquivocatingRecorder, lie_to={8}),
+    }
+    network, deployment = _build(scheme=scheme,
+                                 recorder_factories=factories)
+    _standard_workload(network)
+    deployment.commit_now(FOCUS_AS)
+    network.settle()  # deliver both commitment variants
+
+    # The VERIFY broadcast: neighbors compare what they received.
+    commit_time = deployment.node(FOCUS_AS).recorder.commitments[-1] \
+        .commit_time
+    roots = {}
+    for neighbor in network.topology.neighbors(FOCUS_AS):
+        commitment = deployment.node(neighbor).commitment_from(
+            FOCUS_AS, commit_time)
+        if commitment is not None:
+            roots[neighbor] = commitment.root
+    outcomes: List[VerificationOutcome] = []
+    result = ScenarioResult(name="equivocating-commitments",
+                            outcomes=outcomes)
+    if len(set(roots.values())) > 1:
+        for neighbor in roots:
+            result.detectors.setdefault(neighbor, set()).add(
+                FaultKind.EQUIVOCATION)
+    return result
+
+
+ALL_SCENARIOS = {
+    "clean-baseline": clean_baseline,
+    "overaggressive-filter": overaggressive_filter,
+    "wrongly-exporting": wrongly_exporting,
+    "wrongly-exporting-fixed": wrongly_exporting_fixed,
+    "tampered-bit-proof": tampered_bit_proof,
+    "equivocating-commitments": equivocating_commitments,
+}

@@ -1,0 +1,15 @@
+"""Experiment runners and report formatting shared by the benchmarks."""
+
+from .experiments import FEED, FlatVsMttResult, LabelingResult, \
+    MttSizeResult, ProofResult, ReplayResult, flat_vs_mtt_experiment, \
+    labeling_experiment, mtt_size_experiment, proof_experiment, \
+    run_replay_experiment
+from .reporting import format_bytes, format_rate, ratio_note, render_table
+
+__all__ = [
+    "FEED", "FlatVsMttResult", "LabelingResult", "MttSizeResult",
+    "ProofResult", "ReplayResult", "flat_vs_mtt_experiment",
+    "labeling_experiment", "mtt_size_experiment", "proof_experiment",
+    "run_replay_experiment",
+    "format_bytes", "format_rate", "ratio_note", "render_table",
+]

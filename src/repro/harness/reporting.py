@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment output.
+
+Every benchmark prints the rows the paper reports, side by side with the
+paper's numbers where applicable, so EXPERIMENTS.md can be regenerated
+from bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width table with a title rule, GitHub-log friendly."""
+    materialized: List[List[str]] = [[_fmt(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def format_bytes(n: float) -> str:
+    for unit in ("B", "kB", "MB", "GB", "TB"):
+        if abs(n) < 1024:
+            return f"{n:.1f} {unit}"
+        n /= 1024
+    return f"{n:.1f} PB"
+
+
+def format_rate(bits_per_second: float) -> str:
+    for unit in ("bps", "kbps", "Mbps", "Gbps"):
+        if abs(bits_per_second) < 1000:
+            return f"{bits_per_second:.1f} {unit}"
+        bits_per_second /= 1000
+    return f"{bits_per_second:.1f} Tbps"
+
+
+def ratio_note(measured: float, paper: float,
+               label: str = "paper") -> str:
+    """'x (paper: y, ratio r)' annotations for EXPERIMENTS.md rows."""
+    if paper == 0:
+        return f"{measured:.3g} ({label}: 0)"
+    return f"{measured:.3g} ({label}: {paper:.3g}, " \
+           f"ratio {measured / paper:.2f})"

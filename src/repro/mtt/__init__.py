@@ -1,0 +1,33 @@
+"""The modified ternary tree (Section 5): scaling VPref to many prefixes.
+
+One MTT commits to the VPref input bits of every reachable prefix at
+once; bit proofs reveal nothing about the presence or absence of any
+other prefix because dummy labels are indistinguishable from subtree
+hashes.
+"""
+
+from .aggregation import aggregate_bits, aggregation_candidates, \
+    aggregation_overhead, sibling, with_aggregates
+from .labeling import LabelingReport, ParallelReport, assign_randomness, \
+    compute_label, label_tree, parallel_labeling_report
+from .nodes import BitNode, DummyNode, EDGE_END, EDGE_ONE, EDGE_ZERO, \
+    EDGES, InnerNode, MttNode, PrefixNode, validate_structure
+from .proofs import MttBitProof, PathStep, ProofError, generate_proof, \
+    verify_proof
+from .stats import PAPER_CENSUS, PAPER_MTT_BYTES, ScaleComparison, \
+    predict_census, slot_identity_holds
+from .tree import Mtt, NodeCensus
+
+__all__ = [
+    "aggregate_bits", "aggregation_candidates", "aggregation_overhead",
+    "sibling", "with_aggregates",
+    "LabelingReport", "ParallelReport", "assign_randomness",
+    "compute_label", "label_tree", "parallel_labeling_report",
+    "BitNode", "DummyNode", "EDGE_END", "EDGE_ONE", "EDGE_ZERO", "EDGES",
+    "InnerNode", "MttNode", "PrefixNode", "validate_structure",
+    "MttBitProof", "PathStep", "ProofError", "generate_proof",
+    "verify_proof",
+    "PAPER_CENSUS", "PAPER_MTT_BYTES", "ScaleComparison",
+    "predict_census", "slot_identity_holds",
+    "Mtt", "NodeCensus",
+]

@@ -1,0 +1,153 @@
+"""MTT bit proofs (Section 5.3).
+
+A bit proof for bit ``b_i`` of prefix ``p`` consists of (a) the values of
+``b_i`` and ``x_i``, and (b) the labels of all direct children of each
+node on the path from the bit node to the root.  The verifier recomputes
+the root label from these values; because random bitstrings are the same
+length as hash values, it cannot tell which sibling labels are dummy
+nodes and which are real subtrees — the proof leaks nothing about the
+presence or absence of any other prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..bgp.prefix import Prefix
+from ..crypto.hashing import DIGEST_SIZE, bit_commitment, digest_concat
+from .nodes import EDGE_END
+from .tree import Mtt
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One node on the proof path: its children's labels and which child
+    leads toward the proven bit."""
+
+    child_labels: Tuple[bytes, ...]
+    child_index: int
+
+
+@dataclass(frozen=True)
+class MttBitProof:
+    """Proof that the bit for (``prefix``, ``class_index``) had value
+    ``bit`` in the committed MTT.
+
+    ``steps[0]`` is the prefix node (children = bit nodes); subsequent
+    steps are the inner nodes up to and including the root.
+    """
+
+    prefix: Prefix
+    class_index: int
+    bit: int
+    blinding: bytes
+    steps: Tuple[PathStep, ...]
+
+    def wire_size(self) -> int:
+        """Serialized size in bytes (the §7.3 proof-size measurement)."""
+        labels = sum(len(l) for step in self.steps
+                     for l in step.child_labels)
+        framing = 4 * len(self.steps)  # child_index per step
+        return 5 + 4 + 1 + len(self.blinding) + labels + framing
+
+    def encode(self) -> bytes:
+        out = bytearray()
+        out += self.prefix.to_bytes()
+        out += self.class_index.to_bytes(4, "big")
+        out += bytes([self.bit])
+        out += self.blinding
+        for step in self.steps:
+            out += len(step.child_labels).to_bytes(2, "big")
+            out += step.child_index.to_bytes(2, "big")
+            for label in step.child_labels:
+                out += label
+        return bytes(out)
+
+
+class ProofError(ValueError):
+    """Raised when a proof cannot be generated (absent prefix/class)."""
+
+
+def generate_proof(tree: Mtt, prefix: Prefix,
+                   class_index: int) -> MttBitProof:
+    """Build the bit proof for (``prefix``, ``class_index``).
+
+    The tree must already be labeled (see :mod:`repro.mtt.labeling`).
+    """
+    prefix_node = tree.prefix_node(prefix)
+    if prefix_node is None:
+        raise ProofError(f"prefix {prefix} not present in the MTT")
+    if not 0 <= class_index < len(prefix_node.bit_nodes):
+        raise ProofError(f"class {class_index} out of range for {prefix}")
+    inner_path = tree.path_to(prefix)
+    if inner_path is None:
+        raise ProofError(f"no path to {prefix}")
+
+    bit_node = prefix_node.bit_nodes[class_index]
+    if bit_node.blinding is None or prefix_node.label is None:
+        raise ProofError("tree is not labeled")
+
+    steps: List[PathStep] = [PathStep(
+        child_labels=tuple(b.label for b in prefix_node.bit_nodes),
+        child_index=class_index,
+    )]
+    # Walk back up: the deepest inner node reaches the prefix node via E;
+    # every other inner node reaches the next via the prefix's path bit.
+    bits = prefix.bits()
+    for depth in range(len(inner_path) - 1, -1, -1):
+        node = inner_path[depth]
+        edge = EDGE_END if depth == len(inner_path) - 1 else bits[depth]
+        steps.append(PathStep(
+            child_labels=tuple(c.label for c in node.children),
+            child_index=edge,
+        ))
+    return MttBitProof(prefix=prefix, class_index=class_index,
+                       bit=bit_node.bit, blinding=bit_node.blinding,
+                       steps=tuple(steps))
+
+
+def verify_proof(root_label: bytes, proof: MttBitProof,
+                 expected_k: Optional[int] = None) -> Optional[int]:
+    """Check a bit proof against a committed root label.
+
+    Returns the proven bit (0/1) when valid, None otherwise.  The
+    verifier independently derives the expected path-child indices from
+    the prefix, so a proof cannot be replayed for a different prefix or
+    class.
+    """
+    if proof.bit not in (0, 1):
+        return None
+    if len(proof.blinding) != DIGEST_SIZE:
+        return None
+    bits = proof.prefix.bits()
+    if len(proof.steps) != len(bits) + 2:
+        return None  # prefix-node step + one inner step per level + root
+
+    # Step 0: the prefix node.
+    first = proof.steps[0]
+    if expected_k is not None and len(first.child_labels) != expected_k:
+        return None
+    if first.child_index != proof.class_index or \
+            not 0 <= first.child_index < len(first.child_labels):
+        return None
+    leaf_label = bit_commitment(proof.bit, proof.blinding)
+    if first.child_labels[first.child_index] != leaf_label:
+        return None
+    running = digest_concat(*first.child_labels)
+
+    # Inner steps, bottom-up: deepest uses edge E, then the prefix bits
+    # in reverse.
+    expected_edges = [EDGE_END] + list(reversed(bits))
+    for step, edge in zip(proof.steps[1:], expected_edges):
+        if len(step.child_labels) != 3:
+            return None
+        if step.child_index != edge:
+            return None
+        if step.child_labels[edge] != running:
+            return None
+        running = digest_concat(*step.child_labels)
+
+    if running != root_label:
+        return None
+    return proof.bit

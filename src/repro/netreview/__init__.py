@@ -1,0 +1,17 @@
+"""NetReview baseline: full-disclosure audit of routing decisions.
+
+Same messaging substrate as SPIDeR, no commitments; auditors read whole
+logs.  Used for the CPU (§7.5) and privacy comparisons.
+"""
+
+from .auditor import AuditFinding, AuditReport, NetReviewAuditor, \
+    disclosure_bytes
+from .node import AUDIT_TRAFFIC, NETREVIEW_TRAFFIC, NetReviewDeployment, \
+    NetReviewRecorder
+
+__all__ = [
+    "AuditFinding", "AuditReport", "NetReviewAuditor",
+    "disclosure_bytes",
+    "AUDIT_TRAFFIC", "NETREVIEW_TRAFFIC", "NetReviewDeployment",
+    "NetReviewRecorder",
+]

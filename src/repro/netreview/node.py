@@ -1,0 +1,137 @@
+"""NetReview deployed on a simulated network.
+
+NetReview shares SPIDeR's messaging substrate — "we reused some code
+from NetReview, specifically the component for mirroring BGP routing
+state ... and the component for maintaining a tamper-evident message log
+with signatures and acknowledgments" (§7.1) — so this deployment reuses
+:class:`~repro.spider.recorder.Recorder` with the MTT commitment replaced
+by a no-op epoch marker.  The CPU comparison of §7.5 (NetReview ≈ SPIDeR
+minus MTT generation, about 5× lower) falls out of exactly this sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.classes import ClassScheme
+from ..core.promise import Promise, total_order_promise
+from ..crypto.keys import KeyRegistry, make_identity
+from ..netsim.network import Network
+from ..spider.config import SpiderConfig
+from ..spider.log import EntryKind
+from ..spider.node import SPIDER_TRAFFIC
+from ..spider.recorder import CommitmentRecord, Recorder
+from .auditor import AuditReport, NetReviewAuditor
+
+#: Traffic category for NetReview's own messages (same substrate).
+NETREVIEW_TRAFFIC = SPIDER_TRAFFIC
+
+#: Traffic category for disclosed logs during audits.
+AUDIT_TRAFFIC = "netreview-audit"
+
+
+class NetReviewRecorder(Recorder):
+    """The shared recorder without MTT commitments.
+
+    Epoch boundaries are still logged (auditors audit per epoch), but no
+    tree is built and nothing is hashed beyond the log chain — the cost
+    difference against SPIDeR is precisely the missing 'mtt' CPU
+    section.
+    """
+
+    def make_commitment(self) -> CommitmentRecord:
+        commit_time = self.clock.now
+        self.log.append(commit_time, EntryKind.COMMITMENT,
+                        {"seed": b"", "root": b""}, size_bytes=12)
+        record = CommitmentRecord(commit_time=commit_time, root=b"",
+                                  message=None, census_total=0)
+        self.commitments.append(record)
+        self._maybe_checkpoint(commit_time)
+        return record
+
+
+class NetReviewDeployment:
+    """NetReview on every AS of a simulated network."""
+
+    def __init__(self, network: Network,
+                 scheme: Optional[ClassScheme] = None,
+                 config: SpiderConfig = SpiderConfig(),
+                 key_bits: int = 512, key_seed: int = 24242,
+                 promise_factory=None, scheme_factory=None):
+        from ..spider.node import evaluation_scheme
+        self.network = network
+        self.config = config
+        self.scheme = scheme if scheme is not None else \
+            evaluation_scheme()
+        self._scheme_factory = scheme_factory
+        self.registry = KeyRegistry()
+        self.recorders: Dict[int, NetReviewRecorder] = {}
+        self.promises: Dict[int, Dict[int, Promise]] = {}
+        if promise_factory is None:
+            promise_factory = lambda elector, neighbor: \
+                total_order_promise(self._scheme_for(elector))
+
+        identities = {
+            asn: make_identity(asn, registry=self.registry,
+                               bits=key_bits, seed=key_seed + asn)
+            for asn in network.topology.ases
+        }
+        for asn in network.topology.ases:
+            promises = {
+                neighbor: promise_factory(asn, neighbor)
+                for neighbor in network.topology.neighbors(asn)
+            }
+            self.promises[asn] = promises
+            recorder = NetReviewRecorder(
+                identity=identities[asn], registry=self.registry,
+                scheme=self._scheme_for(asn), promises=promises,
+                config=config,
+                clock=network.sim.clock,
+                transport=self._transport_for(asn),
+                master_seed=b"netreview-%d" % asn,
+                schedule=network.sim.after)
+            self.recorders[asn] = recorder
+            network.speaker(asn).on_send(recorder.mirror_sent_update)
+
+    def _scheme_for(self, asn: int) -> ClassScheme:
+        if self._scheme_factory is not None:
+            return self._scheme_factory(asn)
+        return self.scheme
+
+    def recorder(self, asn: int) -> NetReviewRecorder:
+        return self.recorders[asn]
+
+    def _transport_for(self, sender: int):
+        def send(receiver: int, message: object) -> None:
+            meter = self.network.meters.get(sender)
+            if meter is not None:
+                meter.record(NETREVIEW_TRAFFIC, message.wire_size(),
+                             at=self.network.sim.now)
+            target = self.recorders.get(receiver)
+            if target is None:
+                return
+            self.network.sim.after(self.network.link_delay,
+                                   lambda: target.receive(message))
+        return send
+
+    # ------------------------------------------------------------------
+
+    def audit(self, audited: int, auditor: int,
+              at_time: Optional[float] = None) -> AuditReport:
+        """One neighbor audits another by fetching its complete log."""
+        recorder = self.recorders[audited]
+        if at_time is None:
+            at_time = self.network.sim.now
+        report = NetReviewAuditor(auditor, recorder.scheme).audit(
+            recorder.log, audited, at_time, self.promises[audited])
+        meter = self.network.meters.get(audited)
+        if meter is not None:
+            meter.record(AUDIT_TRAFFIC, report.disclosed_bytes,
+                         at=self.network.sim.now)
+        return report
+
+    def audit_all_neighbors(self, audited: int,
+                            at_time: Optional[float] = None
+                            ) -> List[AuditReport]:
+        return [self.audit(audited, neighbor, at_time)
+                for neighbor in self.network.topology.neighbors(audited)]

@@ -1,0 +1,23 @@
+"""Deterministic event-driven AS-level network simulator.
+
+The stand-in for the paper's 11-machine Quagga cluster: simulated time,
+links with byte metering, the Figure 5 topology, and CPU/traffic/storage
+meters replacing getrusage and tcpdump.
+"""
+
+from .clock import SimClock, SkewedClock
+from .events import Simulator
+from .metering import CpuMeter, StorageMeter, TrafficMeter
+from .network import BGP_TRAFFIC, Network, TraceEvent
+from .topology import FOCUS_AS, INJECTION_AS, Topology, \
+    caida_like_topology, degree_distribution, figure5_topology, \
+    share_with_degree_at_most
+
+__all__ = [
+    "SimClock", "SkewedClock", "Simulator",
+    "CpuMeter", "StorageMeter", "TrafficMeter",
+    "BGP_TRAFFIC", "Network", "TraceEvent",
+    "FOCUS_AS", "INJECTION_AS", "Topology", "caida_like_topology",
+    "degree_distribution", "figure5_topology",
+    "share_with_degree_at_most",
+]

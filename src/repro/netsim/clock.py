@@ -1,0 +1,46 @@
+"""Simulated time.
+
+SPIDeR's semantics are defined over loosely synchronized wall clocks
+(Section 6.4): timestamps act as nonces, commitments fire periodically,
+and evidence is ordered by the elector's own timestamps.  The simulator
+gives every AS a :class:`SkewedClock` view of one global
+:class:`SimClock`, so tests can exercise the loose-synchronization logic
+deterministically.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """The simulation's global clock, advanced only by the event loop."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(
+                f"time cannot move backwards ({t} < {self._now})"
+            )
+        self._now = t
+
+
+class SkewedClock:
+    """One AS's view of the global clock, offset by a fixed skew.
+
+    The paper assumes clocks are "only loosely synchronized"
+    (Section 6.3); recorders accept timestamps "reasonably close" to
+    their own clock.
+    """
+
+    def __init__(self, base: SimClock, skew: float = 0.0):
+        self._base = base
+        self.skew = float(skew)
+
+    @property
+    def now(self) -> float:
+        return self._base.now + self.skew

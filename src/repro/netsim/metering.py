@@ -1,0 +1,113 @@
+"""Measurement instruments: the simulator's tcpdump and getrusage.
+
+The evaluation attributes costs to categories: Section 7.5 splits CPU
+time into signatures / MTT labeling / other; Section 7.6 splits traffic
+into BGP vs. SPIDeR vs. verification; Section 7.7 tracks storage growth.
+These meters are the common instruments every experiment uses.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class TrafficMeter:
+    """Byte counters per category with optional time-bucketing.
+
+    ``record(category, nbytes, at)`` is called by links; ``rate`` turns a
+    window into bits-per-second, matching the paper's kbps reporting.
+    """
+
+    bytes_by_category: Dict[str, int] = field(default_factory=dict)
+    samples: List[Tuple[float, str, int]] = field(default_factory=list)
+    keep_samples: bool = True
+
+    def record(self, category: str, nbytes: int,
+               at: Optional[float] = None) -> None:
+        if nbytes < 0:
+            raise ValueError("byte count must be non-negative")
+        self.bytes_by_category[category] = \
+            self.bytes_by_category.get(category, 0) + nbytes
+        if self.keep_samples and at is not None:
+            self.samples.append((at, category, nbytes))
+
+    def total(self, category: Optional[str] = None) -> int:
+        if category is None:
+            return sum(self.bytes_by_category.values())
+        return self.bytes_by_category.get(category, 0)
+
+    def rate_bps(self, category: str, start: float, end: float) -> float:
+        """Average send rate in bits/second over [start, end]."""
+        if end <= start:
+            raise ValueError("window must have positive length")
+        total = sum(n for t, c, n in self.samples
+                    if c == category and start <= t <= end)
+        return total * 8 / (end - start)
+
+
+@dataclass
+class CpuMeter:
+    """Named-section CPU accounting (the getrusage stand-in).
+
+    Sections are measured with :meth:`section` around real computation;
+    because the simulator executes everything inline, the sum of sections
+    is the simulated AS's compute cost.
+    """
+
+    seconds_by_section: Dict[str, float] = field(default_factory=dict)
+    calls_by_section: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds_by_section[name] = \
+                self.seconds_by_section.get(name, 0.0) + elapsed
+            self.calls_by_section[name] = \
+                self.calls_by_section.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Record externally measured time (e.g. a labeling report)."""
+        self.seconds_by_section[name] = \
+            self.seconds_by_section.get(name, 0.0) + seconds
+        self.calls_by_section[name] = \
+            self.calls_by_section.get(name, 0) + calls
+
+    def total(self) -> float:
+        return sum(self.seconds_by_section.values())
+
+    def share(self, name: str) -> float:
+        total = self.total()
+        return self.seconds_by_section.get(name, 0.0) / total if total \
+            else 0.0
+
+
+@dataclass
+class StorageMeter:
+    """Byte counters for durable state (log, snapshots, seeds)."""
+
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("byte count must be non-negative")
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + nbytes
+
+    def total(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return sum(self.bytes_by_kind.values())
+        return self.bytes_by_kind.get(kind, 0)
+
+    def projected(self, kind: str, measured_window: float,
+                  target_window: float) -> float:
+        """Linear projection (the paper's one-year storage estimate)."""
+        if measured_window <= 0:
+            raise ValueError("measured window must be positive")
+        return self.total(kind) * target_window / measured_window

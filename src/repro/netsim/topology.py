@@ -1,0 +1,170 @@
+"""AS-level topologies.
+
+Two generators matter for the evaluation:
+
+* :func:`figure5_topology` — the 10-AS testbed of Figure 5 ("AS topology
+  for our experiments, from [NetReview]; a RouteViews trace is injected
+  at AS 2").  The figure's exact edge list is not printed in the paper
+  text, so this module reconstructs a topology with the properties the
+  evaluation relies on: 10 ASes, AS 5 in the middle with exactly five
+  neighbors, the trace injected at AS 2, and Gao-Rexford-consistent
+  relations throughout.  The reconstruction is documented in DESIGN.md.
+
+* :func:`caida_like_topology` — a seeded power-law AS graph standing in
+  for CAIDA's AS-relationships dataset, used for the "89% of the current
+  Internet ASes have five or fewer neighbors" statistic (Section 7.5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Set, Tuple
+
+from ..bgp.policy import Relation
+
+
+@dataclass
+class Topology:
+    """An undirected AS graph with per-edge business relations.
+
+    ``relations[(a, b)]`` is the relation of ``b`` *from a's point of
+    view* (e.g. ``Relation.CUSTOMER`` means b is a's customer).  Both
+    directions are stored and must be mutually consistent.
+    """
+
+    edges: Set[FrozenSet[int]] = field(default_factory=set)
+    relations: Dict[Tuple[int, int], Relation] = field(default_factory=dict)
+
+    _DUAL = {
+        Relation.CUSTOMER: Relation.PROVIDER,
+        Relation.PROVIDER: Relation.CUSTOMER,
+        Relation.PEER: Relation.PEER,
+        Relation.SIBLING: Relation.SIBLING,
+    }
+
+    def add_link(self, a: int, b: int,
+                 relation_of_b: Relation = Relation.PEER) -> None:
+        """Connect a—b; ``relation_of_b`` is what b is to a."""
+        if a == b:
+            raise ValueError("an AS cannot link to itself")
+        self.edges.add(frozenset((a, b)))
+        self.relations[(a, b)] = relation_of_b
+        self.relations[(b, a)] = self._DUAL[relation_of_b]
+
+    @property
+    def ases(self) -> Tuple[int, ...]:
+        nodes: Set[int] = set()
+        for edge in self.edges:
+            nodes.update(edge)
+        return tuple(sorted(nodes))
+
+    def neighbors(self, asn: int) -> Tuple[int, ...]:
+        found = []
+        for edge in self.edges:
+            if asn in edge:
+                (other,) = edge - {asn}
+                found.append(other)
+        return tuple(sorted(found))
+
+    def degree(self, asn: int) -> int:
+        return len(self.neighbors(asn))
+
+    def relations_of(self, asn: int) -> Dict[int, Relation]:
+        """Neighbor → relation map, in the form the policy engine takes."""
+        return {other: self.relations[(asn, other)]
+                for other in self.neighbors(asn)}
+
+    def validate(self) -> None:
+        for (a, b), rel in self.relations.items():
+            if self.relations.get((b, a)) is not self._DUAL[rel]:
+                raise ValueError(f"inconsistent relations on {a}-{b}")
+
+
+#: The AS where the RouteViews-style trace is injected (Figure 5).
+INJECTION_AS = 2
+
+#: The AS the evaluation focuses on ("we focus on the AS in the middle").
+FOCUS_AS = 5
+
+
+def figure5_topology() -> Topology:
+    """The reconstructed 10-AS evaluation topology.
+
+    Shape: AS 2 (where the trace enters) is a large transit provider at
+    the top; AS 5 sits in the middle with exactly five neighbors (the
+    paper: "a small AS with five neighbors, like AS 5"); stub customers
+    hang off the bottom.
+    """
+    topology = Topology()
+    # Tier-1-ish core: 1, 2, 3 peer with each other.
+    topology.add_link(1, 2, Relation.PEER)
+    topology.add_link(2, 3, Relation.PEER)
+    topology.add_link(1, 3, Relation.PEER)
+    # AS 4 and AS 6 are mid-tier: customers of the core.
+    topology.add_link(1, 4, Relation.CUSTOMER)   # 4 is 1's customer
+    topology.add_link(2, 4, Relation.CUSTOMER)
+    topology.add_link(3, 6, Relation.CUSTOMER)
+    topology.add_link(2, 6, Relation.CUSTOMER)
+    # AS 5 in the middle: providers 2, 4 and 6; peers none; customers 7, 8.
+    topology.add_link(4, 5, Relation.CUSTOMER)   # 5 is 4's customer
+    topology.add_link(6, 5, Relation.CUSTOMER)
+    topology.add_link(2, 5, Relation.CUSTOMER)
+    topology.add_link(5, 7, Relation.CUSTOMER)   # 7 is 5's customer
+    topology.add_link(5, 8, Relation.CUSTOMER)
+    # Stubs: 9 and 10 are customers of 7 and 8 respectively.
+    topology.add_link(7, 9, Relation.CUSTOMER)
+    topology.add_link(8, 10, Relation.CUSTOMER)
+    topology.validate()
+    assert topology.degree(FOCUS_AS) == 5
+    assert len(topology.ases) == 10
+    return topology
+
+
+def caida_like_topology(n_ases: int = 1000, seed: int = 7,
+                        attach_links: int = 1) -> Topology:
+    """A seeded preferential-attachment AS graph (CAIDA stand-in).
+
+    Preferential attachment yields the heavy-tailed degree distribution
+    of the real AS graph, where most ASes are stubs: the generated graph
+    reproduces the paper's observation that ~89% of ASes have at most
+    five neighbors.  New ASes attach as customers of existing providers.
+    """
+    if n_ases < 3:
+        raise ValueError("need at least 3 ASes")
+    rng = random.Random(seed)
+    topology = Topology()
+    topology.add_link(1, 2, Relation.PEER)
+    topology.add_link(2, 3, Relation.PEER)
+    topology.add_link(1, 3, Relation.PEER)
+    # Endpoint pool: one entry per incident edge → preferential attachment.
+    endpoint_pool: List[int] = [1, 2, 2, 3, 1, 3]
+    for new_as in range(4, n_ases + 1):
+        providers: Set[int] = set()
+        # Mostly single-homed stubs, occasionally multi-homed.
+        n_links = attach_links if rng.random() < 0.8 else attach_links + 1
+        while len(providers) < n_links:
+            providers.add(rng.choice(endpoint_pool))
+        for provider in providers:
+            topology.add_link(provider, new_as, Relation.CUSTOMER)
+            endpoint_pool.extend((provider, new_as))
+    topology.validate()
+    return topology
+
+
+def degree_distribution(topology: Topology) -> Mapping[int, int]:
+    """Histogram: degree → number of ASes."""
+    histogram: Dict[int, int] = {}
+    for asn in topology.ases:
+        degree = topology.degree(asn)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def share_with_degree_at_most(topology: Topology, limit: int) -> float:
+    """Fraction of ASes with at most ``limit`` neighbors (§7.5: 89%)."""
+    ases = topology.ases
+    if not ases:
+        raise ValueError("empty topology")
+    small = sum(1 for asn in ases if topology.degree(asn) <= limit)
+    return small / len(ases)

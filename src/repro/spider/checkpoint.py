@@ -1,0 +1,141 @@
+"""Routing-state checkpoints and log replay (Section 6.5).
+
+The recorder keeps a full snapshot of its routing state at the beginning
+of the log (and optionally at later commitment times).  When verification
+is triggered for a commitment at time t, the proof generator loads the
+most recent checkpoint before t and replays all logged messages up to t,
+reproducing exactly the state the MTT was built from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..bgp.prefix import Prefix
+from ..bgp.route import Route
+from .log import EntryKind, LogEntry, SpiderLog
+from .wire import SpiderAnnounce, SpiderWithdraw
+
+
+@dataclass
+class RoutingState:
+    """What a commitment needs to know about one AS's routing at time t.
+
+    * ``imports[neighbor][prefix]`` — the route that neighbor was
+      advertising to us (the VPref inputs);
+    * ``exports[neighbor][prefix]`` — the route we were advertising to
+      that neighbor (the VPref offers);
+    * ``origins`` — prefixes we originate ourselves.
+    """
+
+    imports: Dict[int, Dict[Prefix, Route]] = field(default_factory=dict)
+    exports: Dict[int, Dict[Prefix, Route]] = field(default_factory=dict)
+    origins: Set[Prefix] = field(default_factory=set)
+
+    def copy(self) -> "RoutingState":
+        return RoutingState(
+            imports={n: dict(t) for n, t in self.imports.items()},
+            exports={n: dict(t) for n, t in self.exports.items()},
+            origins=set(self.origins),
+        )
+
+    def known_prefixes(self) -> Set[Prefix]:
+        prefixes: Set[Prefix] = set(self.origins)
+        for table in self.imports.values():
+            prefixes.update(table)
+        for table in self.exports.values():
+            prefixes.update(table)
+        return prefixes
+
+    def import_route(self, neighbor: int,
+                     prefix: Prefix) -> Optional[Route]:
+        return self.imports.get(neighbor, {}).get(prefix)
+
+    def export_route(self, neighbor: int,
+                     prefix: Prefix) -> Optional[Route]:
+        return self.exports.get(neighbor, {}).get(prefix)
+
+    def serialized_size(self) -> int:
+        """Snapshot size in bytes (the §7.7 snapshot measurement)."""
+        total = 0
+        for table in list(self.imports.values()) + \
+                list(self.exports.values()):
+            for route in table.values():
+                total += 4 + len(route.to_bytes())  # neighbor + route
+        total += 5 * len(self.origins)
+        return total
+
+
+def elector_view(route: Route, elector: int) -> Route:
+    """A wire route as it exists inside the elector's route space.
+
+    On export the elector prepends its own ASN, so the route the consumer
+    sees is one hop longer than the route the elector chose; promises are
+    about the elector's routes (Definition 1 is over ``R(A, p)``), so
+    classification must strip that prepend.  A single-hop path equal to
+    the elector means a locally originated route, which *is* the
+    elector's route.
+    """
+    if route.as_path and route.as_path[0] == elector and \
+            len(route.as_path) > 1:
+        return dataclasses.replace(route, as_path=route.as_path[1:])
+    return route
+
+
+def apply_entry(state: RoutingState, asn: int, entry: LogEntry) -> None:
+    """Fold one logged message into the replayed state."""
+    message = entry.payload
+    if entry.kind is EntryKind.RECV_ANNOUNCE:
+        assert isinstance(message, SpiderAnnounce)
+        # Stamp the sender as the route's (receiver-local) neighbor, like
+        # the BGP speaker does for its Adj-RIB-In.
+        route = dataclasses.replace(message.route,
+                                    neighbor=message.sender)
+        state.imports.setdefault(message.sender, {})[message.prefix] = \
+            route
+    elif entry.kind is EntryKind.RECV_WITHDRAW:
+        assert isinstance(message, SpiderWithdraw)
+        state.imports.get(message.sender, {}).pop(message.prefix, None)
+    elif entry.kind is EntryKind.SENT_ANNOUNCE:
+        assert isinstance(message, SpiderAnnounce)
+        state.exports.setdefault(message.receiver, {})[message.prefix] = \
+            message.route
+    elif entry.kind is EntryKind.SENT_WITHDRAW:
+        assert isinstance(message, SpiderWithdraw)
+        state.exports.get(message.receiver, {}).pop(message.prefix, None)
+    # ACKs, commitments and checkpoints do not change routing state.
+
+
+def replay(log: SpiderLog, asn: int, until: float) -> RoutingState:
+    """Reconstruct the routing state at time ``until``.
+
+    Loads the latest checkpoint at or before ``until`` and applies every
+    later announcement/withdrawal with timestamp ≤ ``until``.  Incoming
+    messages take effect when acknowledged, outgoing when sent
+    (Section 6.3); the recorder logs them at exactly those moments, so
+    replay can apply entries in log order.
+    """
+    base = log.last_checkpoint_before(until)
+    if base is not None:
+        state = base.payload.copy()
+        start_index = base.index + 1
+    else:
+        state = RoutingState()
+        start_index = 0
+    for entry in log:
+        if entry.index < start_index:
+            continue
+        if entry.timestamp > until:
+            break
+        apply_entry(state, asn, entry)
+    return state
+
+
+def take_checkpoint(log: SpiderLog, timestamp: float,
+                    state: RoutingState) -> LogEntry:
+    """Store a full snapshot in the log."""
+    snapshot = state.copy()
+    return log.append(timestamp, EntryKind.CHECKPOINT, snapshot,
+                      size_bytes=snapshot.serialized_size())

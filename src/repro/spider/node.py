@@ -1,0 +1,291 @@
+"""Per-AS SPIDeR nodes and whole-network deployments.
+
+A :class:`SpiderNode` bundles the three components of Section 6.1 —
+recorder, proof generator, checker — and hooks them onto one AS's BGP
+speaker.  A :class:`SpiderDeployment` instantiates nodes for every AS of
+a simulated :class:`~repro.netsim.network.Network`, carries SPIDeR
+messages over the same event loop (metered separately from BGP traffic,
+as tcpdump separates them in §7.6), and drives verification end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..bgp.prefix import Prefix
+from ..core.classes import ClassScheme, path_length_scheme
+from ..core.promise import Promise, total_order_promise
+from ..crypto.keys import Identity, KeyRegistry, make_identity
+from ..netsim.metering import CpuMeter
+from ..netsim.network import Network
+from .checker import Checker, CheckReport
+from .checkpoint import replay
+from .config import SpiderConfig
+from .proofgen import ProofGenerator, ProofSet
+from .recorder import Recorder
+from .wire import SpiderCommitment
+
+#: Traffic categories (§7.6 separates BGP, SPIDeR, and proof traffic).
+SPIDER_TRAFFIC = "spider"
+PROOF_TRAFFIC = "spider-proofs"
+
+#: The evaluation's promise: 50 path-length classes, totally ordered
+#: ("promised to choose the shortest route to all prefixes", §7.2).
+EVALUATION_CLASSES = 50
+
+
+def evaluation_scheme(k: int = EVALUATION_CLASSES) -> ClassScheme:
+    return path_length_scheme(k - 1)
+
+
+class SpiderNode:
+    """Recorder + proof generator + checker for one AS."""
+
+    def __init__(self, identity: Identity, registry: KeyRegistry,
+                 scheme: ClassScheme, promises: Dict[int, Promise],
+                 config: SpiderConfig, clock, transport,
+                 master_seed: bytes, recorder_factory=Recorder,
+                 schedule=None):
+        self.identity = identity
+        self.registry = registry
+        self.recorder = recorder_factory(
+            identity=identity, registry=registry, scheme=scheme,
+            promises=promises, config=config, clock=clock,
+            transport=transport, master_seed=master_seed,
+            schedule=schedule)
+        self.proofgen = ProofGenerator(self.recorder)
+        self.checker = Checker(identity.asn, registry, scheme)
+        #: Commitments received from neighbors: (elector, time) → message.
+        self.received_commitments: Dict[Tuple[int, float],
+                                        SpiderCommitment] = {}
+
+    @property
+    def asn(self) -> int:
+        return self.identity.asn
+
+    @property
+    def cpu(self) -> CpuMeter:
+        return self.recorder.cpu
+
+    def receive_spider(self, message: object) -> None:
+        if isinstance(message, SpiderCommitment):
+            key = (message.elector, message.commit_time)
+            if key in self.received_commitments and \
+                    self.received_commitments[key].root != message.root:
+                self.recorder.alarms.append(
+                    f"equivocating commitment from AS{message.elector}")
+            self.received_commitments[key] = message
+            return
+        self.recorder.receive(message)
+
+    def commitment_from(self, elector: int,
+                        commit_time: float) -> Optional[SpiderCommitment]:
+        return self.received_commitments.get((elector, commit_time))
+
+    def view_at(self, commit_time: float):
+        """This AS's logged view of the world at ``commit_time``."""
+        return replay(self.recorder.log, self.asn, commit_time)
+
+
+@dataclass
+class VerificationOutcome:
+    """One neighbor's check of one elector commitment."""
+
+    elector: int
+    neighbor: int
+    commit_time: float
+    proofs: ProofSet
+    report: CheckReport
+
+
+class SpiderDeployment:
+    """SPIDeR running on every AS of a simulated network."""
+
+    def __init__(self, network: Network,
+                 scheme: Optional[ClassScheme] = None,
+                 config: SpiderConfig = SpiderConfig(),
+                 key_bits: int = 512, key_seed: int = 4242,
+                 promise_factory=None, recorder_factories=None,
+                 scheme_factory=None, participants=None):
+        """``scheme``/``promise_factory`` configure a single global class
+        scheme (the paper's evaluation setup).  ``scheme_factory(asn)``
+        instead gives each elector its own scheme — used with
+        :class:`~repro.spider.promises.GaoRexfordPromises` for promises
+        that are provably consistent with valley-free export filtering.
+
+        ``participants`` restricts SPIDeR to a subset of the topology's
+        ASes (incremental deployment, §6.7): non-participants run plain
+        BGP only, and detection guarantees cover violations whose inputs
+        and outputs stay within the participating subset.
+        """
+        self.network = network
+        self.config = config
+        self.scheme = scheme if scheme is not None else \
+            evaluation_scheme()
+        self._scheme_factory = scheme_factory
+        self.registry = KeyRegistry()
+        self.nodes: Dict[int, SpiderNode] = {}
+        if promise_factory is None:
+            promise_factory = lambda elector, neighbor: \
+                total_order_promise(self._scheme_for(elector))
+
+        if participants is None:
+            participants = network.topology.ases
+        self.participants = tuple(sorted(participants))
+        identities = {
+            asn: make_identity(asn, registry=self.registry,
+                               bits=key_bits, seed=key_seed + asn)
+            for asn in self.participants
+        }
+        for asn in self.participants:
+            speaker = network.speaker(asn)
+            promises = {
+                neighbor: promise_factory(asn, neighbor)
+                for neighbor in network.topology.neighbors(asn)
+                if neighbor in identities
+            }
+            factory = (recorder_factories or {}).get(asn, Recorder)
+            node = SpiderNode(
+                identity=identities[asn],
+                registry=self.registry, scheme=self._scheme_for(asn),
+                promises=promises, config=config,
+                clock=network.sim.clock,
+                transport=self._transport_for(asn),
+                master_seed=b"spider-node-%d" % asn,
+                recorder_factory=factory,
+                schedule=network.sim.after)
+            self.nodes[asn] = node
+            speaker.on_send(node.recorder.mirror_sent_update)
+
+    def _scheme_for(self, asn: int) -> ClassScheme:
+        if self._scheme_factory is not None:
+            return self._scheme_factory(asn)
+        return self.scheme
+
+    def node(self, asn: int) -> SpiderNode:
+        return self.nodes[asn]
+
+    def _transport_for(self, sender: int):
+        def send(receiver: int, message: object) -> None:
+            meter = self.network.meters.get(sender)
+            if meter is not None:
+                meter.record(SPIDER_TRAFFIC, message.wire_size(),
+                             at=self.network.sim.now)
+            target = self.nodes.get(receiver)
+            if target is None:
+                return  # phantom feed neighbors run no SPIDeR
+            self.network.sim.after(
+                self.network.link_delay,
+                lambda: target.receive_spider(message))
+        return send
+
+    # ------------------------------------------------------------------
+    # Commitments
+
+    def start(self, until: Optional[float] = None) -> None:
+        """Arm every recorder's periodic commitment timer."""
+        for node in self.nodes.values():
+            self.network.sim.every(
+                self.config.commit_interval,
+                lambda n=node: n.recorder.make_commitment(),
+                until=until)
+
+    def commit_now(self, asn: int):
+        """Trigger one immediate commitment at one AS."""
+        return self.nodes[asn].recorder.make_commitment()
+
+    # ------------------------------------------------------------------
+    # Verification
+
+    def verify(self, elector: int,
+               commit_time: Optional[float] = None,
+               neighbors: Optional[Iterable[int]] = None,
+               watch: Dict[int, List[Prefix]] = None,
+               ) -> List[VerificationOutcome]:
+        """Run full verification of one elector commitment.
+
+        Each (deployed) neighbor receives its proof set and checks it
+        against its own logged view.  Proof traffic is metered under
+        :data:`PROOF_TRAFFIC`.
+        """
+        elector_node = self.nodes[elector]
+        records = elector_node.recorder.commitments
+        if not records:
+            raise ValueError(f"AS {elector} has made no commitments")
+        if commit_time is None:
+            commit_time = records[-1].commit_time
+        reconstruction = elector_node.proofgen.reconstruct(commit_time)
+        if neighbors is None:
+            neighbors = self.network.topology.neighbors(elector)
+        watch = watch or {}
+
+        outcomes: List[VerificationOutcome] = []
+        for neighbor in neighbors:
+            node = self.nodes.get(neighbor)
+            if node is None:
+                continue
+            proofs = elector_node.proofgen.proofs_for(
+                reconstruction, neighbor,
+                watch=watch.get(neighbor, ()))
+            meter = self.network.meters.get(elector)
+            if meter is not None:
+                meter.record(PROOF_TRAFFIC, proofs.wire_size(),
+                             at=self.network.sim.now)
+            commitment = node.commitment_from(elector, commit_time)
+            if commitment is None:
+                # The neighbor never got the commitment — use the
+                # elector's own record (a real deployment would raise an
+                # alarm; integration tests verify delivery separately).
+                commitment = elector_node.recorder.commitments[-1].message
+                for record in elector_node.recorder.commitments:
+                    if record.commit_time == commit_time:
+                        commitment = record.message
+            view = node.view_at(commit_time)
+            report = node.checker.check(
+                commitment, proofs,
+                my_exports_to_elector=view.exports.get(elector, {}),
+                my_imports_from_elector=view.imports.get(elector, {}),
+                promise=elector_node.recorder.promises.get(neighbor),
+                watch=watch.get(neighbor, ()),
+                elector_scheme=elector_node.recorder.scheme)
+            outcomes.append(VerificationOutcome(
+                elector=elector, neighbor=neighbor,
+                commit_time=commit_time, proofs=proofs, report=report))
+        return outcomes
+
+    def all_clean(self, outcomes: List[VerificationOutcome]) -> bool:
+        return all(o.report.ok for o in outcomes)
+
+    # ------------------------------------------------------------------
+    # The VERIFY broadcast cross-check (Section 4.5 over SPIDeR)
+
+    def cross_check_commitments(self, elector: int, commit_time: float):
+        """Neighbors compare the commitments they received; any two that
+        differ form a transferable INVALIDCOMMIT proof.
+
+        Returns a list of
+        :class:`~repro.spider.evidence.CommitmentEquivocationPoM`
+        (empty when all copies agree).
+        """
+        from .evidence import CommitmentEquivocationPoM, \
+            commitment_equivocation_valid
+        held = {}
+        for neighbor in self.network.topology.neighbors(elector):
+            node = self.nodes.get(neighbor)
+            if node is None:
+                continue
+            commitment = node.commitment_from(elector, commit_time)
+            if commitment is not None:
+                held[neighbor] = commitment
+        poms = []
+        seen_roots = {}
+        for neighbor, commitment in sorted(held.items()):
+            for other_root, other in seen_roots.items():
+                if commitment.root != other_root:
+                    pom = CommitmentEquivocationPoM(first=other,
+                                                    second=commitment)
+                    if commitment_equivocation_valid(self.registry, pom):
+                        poms.append(pom)
+            seen_roots.setdefault(commitment.root, commitment)
+        return poms

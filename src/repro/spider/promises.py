@@ -1,0 +1,172 @@
+"""Gao-Rexford-consistent promise construction.
+
+The paper's evaluation pairs a Gao-Rexford policy with a "shortest
+route" promise to every neighbor; that combination is only honest when
+preference tiers never conflict with path length (true for the paper's
+workload, where every route enters through a provider).  Section 3.2
+spells out the general hazard: "a longer route through that customer
+will be preferred over a shorter route through a different customer; if
+the AS has previously promised to deliver the shortest customer route
+regardless of that customer's identity, then this is a violation."
+
+This module builds the promises an AS running the standard Gao-Rexford
+policy (:data:`~repro.bgp.policy.RELATION_LOCAL_PREF` tiers, then path
+length) can actually keep:
+
+* the class scheme is per-elector and splits classes by **first-hop
+  neighbor and path length** — the §3.1 obfuscation device of "splitting
+  classes into mutually indifferent subclasses", used here so each
+  consumer's promise can leave routes *through that consumer* unordered
+  (BGP never re-exports a route to an AS already on its path);
+* the promised order between two classes is exactly the elector's true
+  (local-pref tier, path length) lexicographic preference, which every
+  neighbor can derive because AS-level topology and relations are public
+  (Assumption 5);
+* peers and providers — who only ever receive customer routes under
+  valley-free export — are promised only the order among customer-tier
+  classes, so legitimate export filtering never reads as a broken
+  promise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..bgp.policy import Relation
+from ..bgp.route import NULL_ROUTE
+from ..core.classes import ClassScheme, RouteOrNull
+from ..core.promise import Promise
+
+#: Tier ranks mirroring the RELATION_LOCAL_PREF ladder (higher wins).
+_TIER_RANK = {
+    Relation.PROVIDER: 0,
+    Relation.PEER: 1,
+    Relation.SIBLING: 2,
+    Relation.CUSTOMER: 3,
+}
+
+#: Tier rank of a locally originated route (default local-pref ≙ peer).
+_ORIGIN_RANK = _TIER_RANK[Relation.PEER]
+
+
+class GaoRexfordScheme:
+    """The (first-hop × length) class scheme of one elector.
+
+    Groups: one per neighbor, plus an 'origin' group for the elector's
+    own prefixes.  Class 0 is ⊥/overlong; class indices within a group
+    increase as paths get shorter.
+    """
+
+    def __init__(self, elector: int, relations: Dict[int, Relation],
+                 max_length: int = 8):
+        if max_length < 1:
+            raise ValueError("max_length must be at least 1")
+        self.elector = elector
+        self.relations = dict(relations)
+        self.max_length = max_length
+        #: group id → (name, first_hop or None for origin, tier rank)
+        self.groups: List[Tuple[str, Optional[int], int]] = [
+            (f"via{n}", n, _TIER_RANK[relations[n]])
+            for n in sorted(relations)
+        ]
+        self.groups.append(("origin", None, _ORIGIN_RANK))
+        labels = ["no-route"]
+        for name, _hop, _rank in self.groups:
+            for length in range(max_length, 0, -1):
+                labels.append(f"{name}-length-{length}")
+        self.scheme = ClassScheme(labels=tuple(labels),
+                                  classify_fn=self._classify)
+
+    def _group_of(self, first_hop: int) -> Optional[int]:
+        for index, (_name, hop, _rank) in enumerate(self.groups):
+            if hop == first_hop:
+                return index
+        if first_hop == self.elector:
+            return len(self.groups) - 1  # origin group
+        return None
+
+    def _classify(self, route: RouteOrNull) -> Optional[int]:
+        if route is NULL_ROUTE:
+            return 0
+        length = route.path_length
+        if length == 0 or length > self.max_length:
+            return 0
+        group = self._group_of(route.as_path[0])
+        if group is None:
+            return 0  # a first hop that is not a neighbor: unusable
+        return 1 + group * self.max_length + (self.max_length - length)
+
+    # ------------------------------------------------------------------
+
+    def class_info(self, index: int) -> Optional[Tuple[int, int, int]]:
+        """(first_hop group, tier rank, length) of a class; None for ⊥."""
+        if index == 0:
+            return None
+        group, offset = divmod(index - 1, self.max_length)
+        length = self.max_length - offset
+        return (group, self.groups[group][2], length)
+
+    def promise_for(self, consumer: int) -> Promise:
+        """The honest promise to one consumer.
+
+        Orders class A below class B iff the elector's true preference
+        (tier rank, then shorter length) strictly prefers B — except
+        that classes whose routes pass through the consumer itself are
+        left unordered (they can never be exported to it), and
+        non-customer consumers are only promised the customer-tier
+        order.
+        """
+        relation = self.relations[consumer]
+        customers_only = relation not in (Relation.CUSTOMER,
+                                          Relation.SIBLING)
+        k = self.scheme.k
+        pairs = set()
+        infos = [self.class_info(i) for i in range(k)]
+        for a in range(1, k):
+            group_a, rank_a, len_a = infos[a]
+            if self.groups[group_a][1] == consumer:
+                continue
+            if customers_only and rank_a != _TIER_RANK[Relation.CUSTOMER]:
+                continue
+            for b in range(1, k):
+                if a == b:
+                    continue
+                group_b, rank_b, len_b = infos[b]
+                if self.groups[group_b][1] == consumer:
+                    continue
+                if customers_only and \
+                        rank_b != _TIER_RANK[Relation.CUSTOMER]:
+                    continue
+                if (rank_b, -len_b) > (rank_a, -len_a):
+                    pairs.add((a, b))
+        return Promise(scheme=self.scheme, order=frozenset(pairs))
+
+
+class GaoRexfordPromises:
+    """Factory bundle: per-elector scheme + per-consumer promises.
+
+    Plugs into a deployment as its ``scheme_factory`` and
+    ``promise_factory``::
+
+        grp = GaoRexfordPromises(topology, max_length=8)
+        SpiderDeployment(network, scheme_factory=grp.scheme_for,
+                         promise_factory=grp.promise_for)
+    """
+
+    def __init__(self, topology, max_length: int = 8):
+        self.topology = topology
+        self.max_length = max_length
+        self._bundles: Dict[int, GaoRexfordScheme] = {}
+
+    def _bundle(self, elector: int) -> GaoRexfordScheme:
+        if elector not in self._bundles:
+            self._bundles[elector] = GaoRexfordScheme(
+                elector, self.topology.relations_of(elector),
+                self.max_length)
+        return self._bundles[elector]
+
+    def scheme_for(self, elector: int) -> ClassScheme:
+        return self._bundle(elector).scheme
+
+    def promise_for(self, elector: int, consumer: int) -> Promise:
+        return self._bundle(elector).promise_for(consumer)

@@ -1,0 +1,198 @@
+"""The SPIDeR proof generator (Section 6.1 / 6.5).
+
+When verification is triggered for a commitment at time t, the proof
+generator (a) replays the log from the last checkpoint to reconstruct the
+routing state at t, (b) rebuilds the MTT with the blinding bitstrings
+regenerated from the logged CSPRNG seed, and (c) produces, per neighbor,
+the bit proofs that neighbor is due:
+
+* as a *producer* — a 1-proof for the class of each route it was
+  advertising to us at t;
+* as a *consumer* — 0-proofs for every class its promise ranks above the
+  class of the route we were exporting to it at t (⊥ where we exported
+  nothing it asks about).
+
+Proofs are only ever volunteered for exported prefixes; for non-exported
+prefixes the consumer must name the prefix (``watch`` set), because
+volunteering a ⊥-proof for an unasked prefix would reveal that the
+prefix exists in our table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from ..bgp.prefix import Prefix
+from ..bgp.route import NULL_ROUTE
+from ..crypto.rc4 import Rc4Csprng
+from ..mtt.labeling import label_tree
+from ..mtt.proofs import generate_proof
+from ..mtt.tree import Mtt
+from .checkpoint import RoutingState, elector_view, replay
+from .recorder import Recorder
+from .wire import SpiderBitProof
+
+
+@dataclass
+class Reconstruction:
+    """A rebuilt MTT for one past commitment, with timing breakdown."""
+
+    commit_time: float
+    tree: Mtt
+    root: bytes
+    state: RoutingState
+    replay_seconds: float
+    label_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.replay_seconds + self.label_seconds
+
+
+@dataclass
+class ProofSet:
+    """Everything one neighbor receives for one verification."""
+
+    elector: int
+    recipient: int
+    commit_time: float
+    #: prefix → the 1-proof for the class of the neighbor's own input.
+    producer_proofs: Dict[Prefix, SpiderBitProof] = field(
+        default_factory=dict)
+    #: prefix → the 0-proofs for classes above the offered route's class.
+    consumer_proofs: Dict[Prefix, List[SpiderBitProof]] = field(
+        default_factory=dict)
+    generation_seconds: float = 0.0
+
+    def all_proofs(self) -> List[SpiderBitProof]:
+        out = list(self.producer_proofs.values())
+        for proofs in self.consumer_proofs.values():
+            out.extend(proofs)
+        return out
+
+    def wire_size(self) -> int:
+        return sum(p.wire_size() for p in self.all_proofs())
+
+    def proof_count(self) -> int:
+        return len(self.producer_proofs) + \
+            sum(len(v) for v in self.consumer_proofs.values())
+
+
+class ProofGenerator:
+    """Builds proof sets from a recorder's log."""
+
+    def __init__(self, recorder: Recorder):
+        self.recorder = recorder
+
+    @property
+    def asn(self) -> int:
+        return self.recorder.asn
+
+    def reconstruct(self, commit_time: float) -> Reconstruction:
+        """Replay the log and rebuild the MTT for a past commitment."""
+        recorder = self.recorder
+        entry = recorder.log.commitment_at(commit_time)
+        if entry is None:
+            raise ValueError(f"no commitment logged at t={commit_time}")
+        seed = entry.payload["seed"]
+
+        start = time.perf_counter()
+        state = replay(recorder.log, recorder.asn, commit_time)
+        entries = recorder.mtt_entries(state)
+        tree = Mtt.build(entries)
+        replay_seconds = time.perf_counter() - start
+
+        report = label_tree(tree, Rc4Csprng(seed))
+        if report.root_label != entry.payload["root"]:
+            raise RuntimeError(
+                "reconstructed MTT root differs from the committed root — "
+                "log replay is broken"
+            )
+        return Reconstruction(commit_time=commit_time, tree=tree,
+                              root=report.root_label, state=state,
+                              replay_seconds=replay_seconds,
+                              label_seconds=report.seconds)
+
+    # ------------------------------------------------------------------
+    # Proof sets
+
+    def proofs_for(self, reconstruction: Reconstruction, neighbor: int,
+                   watch: Iterable[Prefix] = ()) -> ProofSet:
+        """All proofs ``neighbor`` is due for one commitment."""
+        recorder = self.recorder
+        state = reconstruction.state
+        tree = reconstruction.tree
+        scheme = recorder.scheme
+        start = time.perf_counter()
+        result = ProofSet(elector=self.asn, recipient=neighbor,
+                          commit_time=reconstruction.commit_time)
+
+        # Producer side: one 1-proof per prefix the neighbor advertised.
+        for prefix, route in state.imports.get(neighbor, {}).items():
+            class_index = scheme.classify(route)
+            result.producer_proofs[prefix] = self._signed_proof(
+                tree, neighbor, reconstruction.commit_time, prefix,
+                class_index)
+
+        # Consumer side: 0-proofs for classes above each offer.
+        promise = recorder.promises.get(neighbor)
+        if promise is not None:
+            exports = state.exports.get(neighbor, {})
+            prefixes = set(exports) | set(watch)
+            for prefix in prefixes:
+                if tree.prefix_node(prefix) is None:
+                    continue  # nothing committed for this prefix
+                offer = exports.get(prefix, NULL_ROUTE)
+                if offer is not NULL_ROUTE:
+                    offer = elector_view(offer, self.asn)
+                offer_class = scheme.classify(offer)
+                proofs = [
+                    self._signed_proof(tree, neighbor,
+                                       reconstruction.commit_time,
+                                       prefix, class_index)
+                    for class_index in promise.classes_above(offer_class)
+                ]
+                if proofs:
+                    result.consumer_proofs[prefix] = proofs
+        result.generation_seconds = time.perf_counter() - start
+        return result
+
+    def proofs_for_prefix(self, reconstruction: Reconstruction,
+                          neighbor: int, prefix: Prefix) -> ProofSet:
+        """Single-prefix verification (the §7.3 'route to Google' case)."""
+        recorder = self.recorder
+        state = reconstruction.state
+        tree = reconstruction.tree
+        start = time.perf_counter()
+        result = ProofSet(elector=self.asn, recipient=neighbor,
+                          commit_time=reconstruction.commit_time)
+        advertised = state.imports.get(neighbor, {}).get(prefix)
+        if advertised is not None:
+            result.producer_proofs[prefix] = self._signed_proof(
+                tree, neighbor, reconstruction.commit_time, prefix,
+                recorder.scheme.classify(advertised))
+        promise = recorder.promises.get(neighbor)
+        if promise is not None and tree.prefix_node(prefix) is not None:
+            offer = state.exports.get(neighbor, {}).get(prefix,
+                                                        NULL_ROUTE)
+            if offer is not NULL_ROUTE:
+                offer = elector_view(offer, self.asn)
+            offer_class = recorder.scheme.classify(offer)
+            proofs = [
+                self._signed_proof(tree, neighbor,
+                                   reconstruction.commit_time, prefix,
+                                   class_index)
+                for class_index in promise.classes_above(offer_class)
+            ]
+            if proofs:
+                result.consumer_proofs[prefix] = proofs
+        result.generation_seconds = time.perf_counter() - start
+        return result
+
+    def _signed_proof(self, tree: Mtt, recipient: int, commit_time: float,
+                      prefix: Prefix, class_index: int) -> SpiderBitProof:
+        proof = generate_proof(tree, prefix, class_index)
+        return SpiderBitProof.make(self.recorder.signer, recipient,
+                                   commit_time, proof)

@@ -1,0 +1,428 @@
+"""The SPIDeR recorder (Section 6.1–6.2).
+
+One recorder runs next to each AS's border routers.  It mirrors the BGP
+message flow, re-announces every update through SPIDeR with signatures
+and acknowledgments, keeps the tamper-evident log, and periodically
+commits to its AS's entire routing state via one MTT root.
+
+The recorder derives everything it commits to from its own
+:class:`~repro.spider.checkpoint.RoutingState` mirror — never from the
+live speaker — so that the proof generator, replaying the log, arrives at
+bit-for-bit the same MTT (Section 6.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..bgp.messages import Announce, Update
+from ..bgp.prefix import Prefix
+from ..bgp.route import NULL_ROUTE, Route
+from ..core.bits import compute_bits
+from ..core.classes import ClassScheme, RouteOrNull
+from ..core.promise import Promise
+from ..crypto.hashing import digest_fields
+from ..crypto.keys import Identity, KeyRegistry
+from ..crypto.rc4 import Rc4Csprng
+from ..crypto.signatures import Signed, Signer, Verifier
+from ..mtt.labeling import label_tree
+from ..mtt.tree import Mtt
+from ..netsim.metering import CpuMeter
+from .checkpoint import RoutingState, apply_entry, elector_view, \
+    take_checkpoint
+from .config import SpiderConfig
+from .log import EntryKind, SpiderLog
+from .wire import SpiderAck, SpiderAnnounce, SpiderCommitment, \
+    SpiderWithdraw, ack_payload, announce_payload, \
+    route_signature_payload, withdraw_payload
+
+
+@dataclass
+class _PendingAnnounce:
+    """Outbox entry awaiting batch signing."""
+
+    receiver: int
+    timestamp: float
+    route: Route
+    underlying: Optional[Signed]
+
+
+@dataclass
+class _PendingWithdraw:
+    receiver: int
+    timestamp: float
+    prefix: Prefix
+
+
+@dataclass
+class _PendingAck:
+    receiver: int
+    timestamp: float
+    message_hash: bytes
+
+
+_PendingItem = object  # union of the three pending kinds
+
+#: Transport callback: (receiver ASN, message object).
+Transport = Callable[[int, object], None]
+#: Scheduler callback: (delay seconds, thunk).
+Scheduler = Callable[[float, Callable[[], None]], None]
+
+
+@dataclass
+class CommitmentRecord:
+    """What the recorder remembers about one commitment (beyond the log,
+    which stores only the seed)."""
+
+    commit_time: float
+    root: bytes
+    message: SpiderCommitment
+    census_total: int
+
+
+class Recorder:
+    """The per-AS SPIDeR recorder."""
+
+    def __init__(self, identity: Identity, registry: KeyRegistry,
+                 scheme: ClassScheme, promises: Dict[int, Promise],
+                 config: SpiderConfig, clock, transport: Transport,
+                 schedule: Optional[Scheduler] = None,
+                 master_seed: bytes = b"spider-master",
+                 cpu: Optional[CpuMeter] = None):
+        self.identity = identity
+        self.registry = registry
+        self.scheme = scheme
+        self.promises = dict(promises)
+        self.config = config
+        self.clock = clock
+        self.transport = transport
+        self.schedule = schedule
+        self.master_seed = master_seed
+        self.cpu = cpu if cpu is not None else CpuMeter()
+        self.signer = Signer(identity)
+        self.verifier = Verifier(registry)
+        self.log = SpiderLog(retention_seconds=config.retention_seconds)
+        self.state = RoutingState()
+        self.commitments: List[CommitmentRecord] = []
+        self.alarms: List[str] = []
+        #: σ_P(r') for each (neighbor, prefix) we imported — the inner
+        #: producer signature our own announcements must carry.
+        self._import_sigs: Dict[Tuple[int, Prefix], Signed] = {}
+        #: Hashes of sent messages still waiting for an ACK.
+        self._awaiting_ack: Dict[bytes, Tuple[float, int]] = {}
+        self._checkpointed_at: Optional[float] = None
+        self._outbox: List[_PendingItem] = []
+        self._flush_scheduled = False
+
+    @property
+    def asn(self) -> int:
+        return self.identity.asn
+
+    # ------------------------------------------------------------------
+    # Mirroring the BGP flow (hooked to Speaker.on_send)
+
+    def mirror_sent_update(self, update: Update) -> None:
+        """Re-announce one of our AS's BGP UPDATEs through SPIDeR."""
+        with self.cpu.section("handling"):
+            self._mirror_sent_update(update)
+
+    def _mirror_sent_update(self, update: Update) -> None:
+        now = self.clock.now
+        if isinstance(update, Announce):
+            item = _PendingAnnounce(
+                receiver=update.receiver, timestamp=now,
+                route=update.route,
+                underlying=self._underlying_for(update.route))
+        else:
+            item = _PendingWithdraw(receiver=update.receiver,
+                                    timestamp=now, prefix=update.prefix)
+        self._enqueue(item)
+
+    # ------------------------------------------------------------------
+    # Outbox: Nagle-style signature batching (Section 6.2)
+
+    def _enqueue(self, item: "_PendingItem") -> None:
+        """Queue an outgoing message; with a scheduler and a positive
+        nagle delay, bursts are signed in batches of ``max_batch``."""
+        self._outbox.append(item)
+        if self.schedule is None or self.config.nagle_delay <= 0:
+            self.flush_outbox()
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.schedule(self.config.nagle_delay, self._timed_flush)
+
+    def _timed_flush(self) -> None:
+        self._flush_scheduled = False
+        with self.cpu.section("handling"):
+            self.flush_outbox()
+
+    def flush_outbox(self) -> int:
+        """Sign, log, and transmit everything queued; returns the count.
+
+        The outbox is grouped per receiver (a batch travels to one
+        neighbor as a unit, amortizing its shared signature bytes); two
+        batch signatures then cover each group: one over the inner route
+        signatures (``σ_E(r)``), one over the message envelopes.
+        """
+        if not self._outbox:
+            return 0
+        pending, self._outbox = self._outbox, []
+        by_receiver: Dict[int, List[_PendingItem]] = {}
+        for item in pending:
+            by_receiver.setdefault(item.receiver, []).append(item)
+        flushed = 0
+        for receiver in sorted(by_receiver):
+            items = by_receiver[receiver]
+            for start in range(0, len(items), self.config.max_batch):
+                chunk = items[start:start + self.config.max_batch]
+                flushed += self._flush_chunk(chunk)
+        return flushed
+
+    def _flush_chunk(self, chunk: List["_PendingItem"]) -> int:
+        with self.cpu.section("signatures"):
+            announces = [i for i in chunk
+                         if isinstance(i, _PendingAnnounce)]
+            route_sigs = self.signer.sign_batch(
+                [route_signature_payload(a.route) for a in announces])
+            sig_of = {id(a): s for a, s in zip(announces, route_sigs)}
+
+            envelope_payloads: List[bytes] = []
+            for item in chunk:
+                if isinstance(item, _PendingAnnounce):
+                    envelope_payloads.append(announce_payload(
+                        self.asn, item.receiver, item.timestamp,
+                        item.route, item.underlying, sig_of[id(item)]))
+                elif isinstance(item, _PendingWithdraw):
+                    envelope_payloads.append(withdraw_payload(
+                        self.asn, item.receiver, item.timestamp,
+                        item.prefix))
+                else:
+                    envelope_payloads.append(ack_payload(
+                        self.asn, item.receiver, item.timestamp,
+                        item.message_hash))
+            envelopes = self.signer.sign_batch(envelope_payloads)
+
+        for item, envelope in zip(chunk, envelopes):
+            if isinstance(item, _PendingAnnounce):
+                message: object = SpiderAnnounce(
+                    sender=self.asn, receiver=item.receiver,
+                    timestamp=item.timestamp, route=item.route,
+                    underlying=item.underlying,
+                    route_sig=sig_of[id(item)], envelope=envelope)
+                kind = EntryKind.SENT_ANNOUNCE
+            elif isinstance(item, _PendingWithdraw):
+                message = SpiderWithdraw(
+                    sender=self.asn, receiver=item.receiver,
+                    timestamp=item.timestamp, prefix=item.prefix,
+                    envelope=envelope)
+                kind = EntryKind.SENT_WITHDRAW
+            else:
+                message = SpiderAck(
+                    acker=self.asn, sender=item.receiver,
+                    timestamp=item.timestamp,
+                    message_hash=item.message_hash, envelope=envelope)
+                kind = EntryKind.SENT_ACK
+            entry = self.log.append(item.timestamp, kind, message,
+                                    size_bytes=message.wire_size())
+            apply_entry(self.state, self.asn, entry)
+            if kind is not EntryKind.SENT_ACK:
+                self._awaiting_ack[message.message_hash()] = \
+                    (item.timestamp, item.receiver)
+            self.transport(item.receiver, message)
+        return len(chunk)
+
+    def _underlying_for(self, route: Route) -> Optional[Signed]:
+        """The σ_P(r') proving our exported route rests on a real import.
+
+        Locally originated routes (our AS first and last on the path)
+        have no underlying import.
+        """
+        if len(route.as_path) <= 1:
+            return None
+        return self._import_sigs.get((route.neighbor, route.prefix))
+
+    # ------------------------------------------------------------------
+    # Receiving SPIDeR messages from neighbor recorders
+
+    def receive(self, message: object) -> None:
+        with self.cpu.section("handling"):
+            self._receive(message)
+
+    def _receive(self, message: object) -> None:
+        if isinstance(message, SpiderAnnounce):
+            self._receive_announce(message)
+        elif isinstance(message, SpiderWithdraw):
+            self._receive_withdraw(message)
+        elif isinstance(message, SpiderAck):
+            self._receive_ack(message)
+        elif isinstance(message, SpiderCommitment):
+            pass  # stored by the checker side (node.py wires this)
+        else:
+            self.alarms.append(f"unknown message type "
+                               f"{type(message).__name__}")
+
+    def _timestamp_plausible(self, timestamp: float) -> bool:
+        return abs(timestamp - self.clock.now) <= \
+            max(self.config.ack_timeout, self.config.delta)
+
+    def _receive_announce(self, message: SpiderAnnounce) -> None:
+        with self.cpu.section("signatures"):
+            ok = message.valid(self.registry)
+        if not ok or message.receiver != self.asn:
+            self.alarms.append(
+                f"invalid announce from AS{message.sender}")
+            return
+        if not self._timestamp_plausible(message.timestamp):
+            self.alarms.append(
+                f"stale timestamp from AS{message.sender}")
+            return
+        entry = self.log.append(self.clock.now, EntryKind.RECV_ANNOUNCE,
+                                message, size_bytes=message.wire_size())
+        apply_entry(self.state, self.asn, entry)
+        # Remember the sender's inner signature: when we export a route
+        # derived from this import, it becomes our σ_P(r').
+        self._import_sigs[(message.sender, message.prefix)] = \
+            message.route_sig
+        self._send_ack(message.sender, message.message_hash())
+
+    def _receive_withdraw(self, message: SpiderWithdraw) -> None:
+        with self.cpu.section("signatures"):
+            ok = message.valid(self.registry)
+        if not ok or message.receiver != self.asn:
+            self.alarms.append(
+                f"invalid withdraw from AS{message.sender}")
+            return
+        entry = self.log.append(self.clock.now, EntryKind.RECV_WITHDRAW,
+                                message, size_bytes=message.wire_size())
+        apply_entry(self.state, self.asn, entry)
+        self._send_ack(message.sender, message.message_hash())
+
+    def _send_ack(self, to: int, message_hash: bytes) -> None:
+        self._enqueue(_PendingAck(receiver=to, timestamp=self.clock.now,
+                                  message_hash=message_hash))
+
+    def _receive_ack(self, ack: SpiderAck) -> None:
+        with self.cpu.section("signatures"):
+            ok = ack.valid(self.registry)
+        if not ok:
+            self.alarms.append(f"invalid ack from AS{ack.acker}")
+            return
+        self.log.append(self.clock.now, EntryKind.RECV_ACK, ack,
+                        size_bytes=ack.wire_size())
+        self._awaiting_ack.pop(ack.message_hash, None)
+
+    def overdue_acks(self) -> List[Tuple[bytes, int]]:
+        """Messages unacknowledged past T_max — each one is an alarm that
+        must be handled out of band (Section 6.2)."""
+        now = self.clock.now
+        return [(h, neighbor)
+                for h, (sent_at, neighbor) in self._awaiting_ack.items()
+                if now - sent_at > self.config.ack_timeout]
+
+    # ------------------------------------------------------------------
+    # Commitments (Section 5.3 / 6.1)
+
+    def commitment_seed(self, commit_time: float) -> bytes:
+        """The per-commitment CSPRNG seed.
+
+        Derived deterministically from the recorder's master secret so a
+        simulation replays identically; only the 20-byte seed is logged,
+        reproducing the paper's tiny per-commitment storage cost.
+        """
+        return digest_fields(self.master_seed,
+                             int(round(commit_time * 1000)).to_bytes(8,
+                                                                     "big"))
+
+    def mtt_entries(
+            self, state: RoutingState
+    ) -> Dict[Prefix, Tuple[int, ...]]:
+        """The per-prefix VPref input bits for a routing state."""
+        entries: Dict[Prefix, Tuple[int, ...]] = {}
+        promise_list = list(self.promises.values())
+        for prefix in state.known_prefixes():
+            inputs: List[RouteOrNull] = [
+                table[prefix] for table in state.imports.values()
+                if prefix in table
+            ]
+            chosen = self._chosen_for(state, prefix)
+            entries[prefix] = compute_bits(self.scheme, inputs, chosen,
+                                           promise_list)
+        return entries
+
+    def _chosen_for(self, state: RoutingState,
+                    prefix: Prefix) -> RouteOrNull:
+        """The elector's choice ``e``, derived from log-visible exports.
+
+        Every export is either e or ⊥; the first non-null export (by
+        neighbor number) therefore identifies e.  All-⊥ exports leave e
+        unobservable, and ⊥ is the conservative value.  The export path
+        carries our own prepend, which is stripped to recover e.
+        """
+        for neighbor in sorted(state.exports):
+            route = state.exports[neighbor].get(prefix)
+            if route is not None:
+                return elector_view(route, self.asn)
+        return NULL_ROUTE
+
+    def make_commitment(self) -> CommitmentRecord:
+        """Build, sign, log, and broadcast one commitment."""
+        self.flush_outbox()  # the commitment must cover queued messages
+        commit_time = self.clock.now
+        entries = self.mtt_entries(self.state)
+        with self.cpu.section("mtt"):
+            tree = Mtt.build(entries)
+            report = label_tree(tree,
+                                Rc4Csprng(self.commitment_seed(commit_time)))
+        with self.cpu.section("signatures"):
+            message = SpiderCommitment.make(self.signer, commit_time,
+                                            report.root_label)
+        seed = self.commitment_seed(commit_time)
+        self.log.append(commit_time, EntryKind.COMMITMENT,
+                        {"seed": seed, "root": report.root_label},
+                        size_bytes=len(seed) + 12)
+        record = CommitmentRecord(commit_time=commit_time,
+                                  root=report.root_label, message=message,
+                                  census_total=tree.census().total)
+        self.commitments.append(record)
+        self._maybe_checkpoint(commit_time)
+        for neighbor in self._all_neighbors():
+            self.transport(neighbor, message)
+        return record
+
+    def _maybe_checkpoint(self, now: float) -> None:
+        if self._checkpointed_at is None or \
+                now - self._checkpointed_at >= \
+                self.config.checkpoint_interval:
+            take_checkpoint(self.log, now, self.state)
+            self._checkpointed_at = now
+
+    def _all_neighbors(self) -> List[int]:
+        neighbors: Set[int] = set(self.promises)
+        neighbors.update(self.state.imports)
+        neighbors.update(self.state.exports)
+        neighbors.discard(self.asn)
+        return sorted(neighbors)
+
+    def start_periodic_commitments(self, sim) -> None:
+        """Hook the commitment timer onto the event loop."""
+        sim.every(self.config.commit_interval,
+                  lambda: self.make_commitment())
+
+    # ------------------------------------------------------------------
+    # Consistency check (Section 6.2, last paragraph)
+
+    def mirror_consistent(self, speaker) -> bool:
+        """Do the signed SPIDeR announcements match the BGP state?
+
+        Compares our import mirror with the speaker's raw Adj-RIB-In; a
+        mismatch means some neighbor's recorder is announcing different
+        routes via SPIDeR than its routers do via BGP.
+        """
+        for neighbor, table in self.state.imports.items():
+            for prefix, route in table.items():
+                bgp_route = speaker.received_from(neighbor, prefix)
+                if bgp_route is None or \
+                        bgp_route.to_bytes() != route.to_bytes():
+                    return False
+        return True

@@ -1,0 +1,88 @@
+"""Loose-synchronization input windows (Section 6.4).
+
+For a commitment at time T, the elector may choose each input from the
+window [T − δ, T]: if a neighbor's route flapped inside the window, any
+of its values during the window (including ⊥ between a withdrawal and the
+next announcement) is an admissible input.  During verification the proof
+generator picks, for each producer, the first admissible input that would
+not have been preferred over the actual output — such an input must exist
+for a correct elector, because otherwise that producer offered a strictly
+better route for the *entire* window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..bgp.route import NULL_ROUTE
+from ..core.classes import RouteOrNull
+from ..core.promise import Promise
+
+
+@dataclass(frozen=True)
+class RouteChange:
+    """One point in a neighbor's advertisement history for a prefix:
+    at ``time`` the advertised route became ``route`` (⊥ = withdrawn)."""
+
+    time: float
+    route: RouteOrNull
+
+
+def value_at(history: Sequence[RouteChange], t: float) -> RouteOrNull:
+    """The advertised route at time ``t`` (⊥ before the first change)."""
+    current: RouteOrNull = NULL_ROUTE
+    for change in history:
+        if change.time > t:
+            break
+        current = change.route
+    return current
+
+
+def admissible_inputs(history: Sequence[RouteChange], commit_time: float,
+                      delta: float) -> List[RouteOrNull]:
+    """Every value the advertisement took during [T − δ, T], in order.
+
+    The value holding at the start of the window comes first; duplicates
+    from re-announcements of the same route are collapsed.
+    """
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    start = commit_time - delta
+    values: List[RouteOrNull] = [value_at(history, start)]
+    for change in history:
+        if start < change.time <= commit_time:
+            if change.route != values[-1]:
+                values.append(change.route)
+    return values
+
+
+def choose_input(history: Sequence[RouteChange], commit_time: float,
+                 delta: float, output: RouteOrNull,
+                 promises: Sequence[Promise]) -> Optional[RouteOrNull]:
+    """The §6.4 selection rule: the first admissible input that would not
+    have been preferred over the actual output under any promise.
+
+    Returns None when every admissible value beats the output throughout
+    the window — the situation in which the elector's output cannot be
+    explained and verification must fail.
+    """
+    candidates = admissible_inputs(history, commit_time, delta)
+    for candidate in candidates:
+        preferred = any(
+            promise.is_violation(available=candidate, exported=output)
+            for promise in promises
+        )
+        if not preferred:
+            return candidate
+    return None
+
+
+def stable_in_window(history: Sequence[RouteChange], commit_time: float,
+                     delta: float) -> bool:
+    """True when the advertisement did not change inside [T − δ, T].
+
+    "When the routes for a given prefix are stable, the elector has no
+    freedom at all" — this is the predicate making that precise.
+    """
+    return len(admissible_inputs(history, commit_time, delta)) == 1

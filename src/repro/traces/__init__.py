@@ -1,0 +1,22 @@
+"""Synthetic workloads: the RouteViews-trace and survey-data substitutes."""
+
+from .communities_data import AsCommunityMenu, FIGURE2_COUNTS, \
+    FIGURE2_LABELS, SURVEY_SIZE, figure2_rows, survey_counts, \
+    synthetic_survey
+from .routeviews import PAPER_COMMIT_INTERVAL, PAPER_MESSAGE_COUNT, \
+    PAPER_PREFIX_COUNT, PAPER_REPLAY_SECONDS, PAPER_SETUP_SECONDS, \
+    SyntheticTrace, TraceConfig, synthetic_trace
+from .workload import PATH_LENGTH_WEIGHTS, PREFIX_LENGTH_WEIGHTS, \
+    RibEntry, generate_path, generate_prefixes, generate_rib_snapshot, \
+    length_histogram
+
+__all__ = [
+    "AsCommunityMenu", "FIGURE2_COUNTS", "FIGURE2_LABELS", "SURVEY_SIZE",
+    "figure2_rows", "survey_counts", "synthetic_survey",
+    "PAPER_COMMIT_INTERVAL", "PAPER_MESSAGE_COUNT", "PAPER_PREFIX_COUNT",
+    "PAPER_REPLAY_SECONDS", "PAPER_SETUP_SECONDS", "SyntheticTrace",
+    "TraceConfig", "synthetic_trace",
+    "PATH_LENGTH_WEIGHTS", "PREFIX_LENGTH_WEIGHTS", "RibEntry",
+    "generate_path", "generate_prefixes", "generate_rib_snapshot",
+    "length_histogram",
+]

@@ -1,0 +1,112 @@
+"""The Figure 2 BGP-community survey, plus a synthetic config generator.
+
+Figure 2 of the paper summarizes, for 88 autonomous systems documented at
+onesc.net, how many support each category of community action.  The
+aggregate numbers are embedded here as the reference dataset (the site
+itself is the paper's source [29]); :func:`synthetic_survey` generates a
+concrete per-AS population whose marginals match, which the policy tests
+and the E1 bench use to exercise the community machinery end to end.
+
+Section 3.2 adds two distribution facts the generator also honors: the
+modal number of local-preference tiers is three (maximum twelve).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..bgp.communities import ActionKind, CommunityAction, community, \
+    local_pref_tiers
+
+#: Figure 2, verbatim: action → number of supporting ASes (of 88).
+FIGURE2_COUNTS: Dict[ActionKind, int] = {
+    ActionKind.SET_LOCAL_PREF: 57,
+    ActionKind.SELECTIVE_EXPORT_GROUP: 48,
+    ActionKind.SELECTIVE_EXPORT_AS: 45,
+    ActionKind.ROUTE_ORIGIN_INFO: 45,
+}
+
+#: Number of ASes in the survey.
+SURVEY_SIZE = 88
+
+#: Human-readable row labels, in the order Figure 2 prints them.
+FIGURE2_LABELS: Dict[ActionKind, str] = {
+    ActionKind.SET_LOCAL_PREF: "Set local preference",
+    ActionKind.SELECTIVE_EXPORT_GROUP:
+        "Selective export by neighbor group",
+    ActionKind.SELECTIVE_EXPORT_AS: "Selective export by specific AS",
+    ActionKind.ROUTE_ORIGIN_INFO: "Information about route origin",
+}
+
+
+def figure2_rows() -> List[Tuple[str, int]]:
+    """(label, AS count) rows exactly as in Figure 2."""
+    return [(FIGURE2_LABELS[kind], FIGURE2_COUNTS[kind])
+            for kind in (ActionKind.SET_LOCAL_PREF,
+                         ActionKind.SELECTIVE_EXPORT_GROUP,
+                         ActionKind.SELECTIVE_EXPORT_AS,
+                         ActionKind.ROUTE_ORIGIN_INFO)]
+
+
+@dataclass
+class AsCommunityMenu:
+    """The community actions one AS publishes."""
+
+    asn: int
+    actions: List[CommunityAction] = field(default_factory=list)
+
+    def supports(self, kind: ActionKind) -> bool:
+        return any(a.kind is kind for a in self.actions)
+
+    def local_pref_tier_count(self) -> int:
+        return sum(1 for a in self.actions
+                   if a.kind is ActionKind.SET_LOCAL_PREF)
+
+
+#: Local-pref tier-count distribution: mode 3, max 12 (§3.2).
+_TIER_CHOICES = (2, 3, 4, 5, 12)
+_TIER_WEIGHTS = (20, 45, 20, 10, 5)
+
+
+def synthetic_survey(seed: int = 0,
+                     size: int = SURVEY_SIZE) -> List[AsCommunityMenu]:
+    """A concrete AS population with the Figure 2 marginals.
+
+    For each action kind, exactly ``round(count · size / 88)`` ASes
+    support it; which ASes is a seeded random choice, so kinds overlap
+    the way the survey's do.
+    """
+    rng = random.Random(seed)
+    menus = [AsCommunityMenu(asn=64500 + i) for i in range(size)]
+    for kind, count in FIGURE2_COUNTS.items():
+        scaled = round(count * size / SURVEY_SIZE)
+        for menu in rng.sample(menus, scaled):
+            menu.actions.extend(_actions_for(rng, menu.asn, kind))
+    return menus
+
+
+def _actions_for(rng: random.Random, asn: int,
+                 kind: ActionKind) -> List[CommunityAction]:
+    tag_asn = asn & 0xFFFF
+    if kind is ActionKind.SET_LOCAL_PREF:
+        n_tiers = rng.choices(_TIER_CHOICES, weights=_TIER_WEIGHTS, k=1)[0]
+        tiers = tuple(60 + 20 * i for i in range(n_tiers))
+        return list(local_pref_tiers(tag_asn, tiers))
+    if kind is ActionKind.SELECTIVE_EXPORT_GROUP:
+        group = rng.choice(["peers", "transit", "peers-pl", "customers-jp"])
+        return [CommunityAction(tag=community(tag_asn, 300),
+                                kind=kind, parameter=group)]
+    if kind is ActionKind.SELECTIVE_EXPORT_AS:
+        return [CommunityAction(tag=community(tag_asn, 400),
+                                kind=kind,
+                                parameter=rng.randint(1, 64000))]
+    return [CommunityAction(tag=community(tag_asn, 500), kind=kind,
+                            parameter=rng.choice(["EU", "US", "JP", "BR"]))]
+
+
+def survey_counts(menus: List[AsCommunityMenu]) -> Dict[ActionKind, int]:
+    """Aggregate a population back into Figure 2 form."""
+    return {kind: sum(1 for m in menus if m.supports(kind))
+            for kind in ActionKind}

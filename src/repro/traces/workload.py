@@ -1,0 +1,105 @@
+"""Synthetic routing-table and prefix-population generation.
+
+The paper's workload is a real RouteViews RIB snapshot (391,028 distinct
+prefixes) plus a 15-minute update trace.  Without access to that data we
+generate a seeded population with the same *shape*: a realistic prefix-
+length distribution (dominated by /24s and /16s, as in any DFZ table) and
+AS paths with Internet-like lengths.  Every measured quantity downstream
+(MTT size, labeling time, proof size, bandwidth, storage) depends only on
+these shape parameters, which is what makes the substitution sound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..bgp.prefix import Prefix
+
+#: Approximate DFZ prefix-length distribution (length → weight), derived
+#: from the well-known shape of public BGP tables: roughly half of all
+#: prefixes are /24s, with /16s, /20s and /22s the next largest groups.
+PREFIX_LENGTH_WEIGHTS: Dict[int, float] = {
+    8: 0.2, 10: 0.2, 12: 0.5, 13: 0.5, 14: 1.0, 15: 1.0,
+    16: 10.0, 17: 3.0, 18: 4.0, 19: 6.0, 20: 7.0, 21: 6.0,
+    22: 9.0, 23: 7.0, 24: 45.0,
+}
+
+#: AS-path length distribution (length → weight); Internet paths average
+#: around 4 AS hops.
+PATH_LENGTH_WEIGHTS: Dict[int, float] = {
+    1: 2.0, 2: 10.0, 3: 25.0, 4: 30.0, 5: 20.0, 6: 8.0, 7: 3.0, 8: 2.0,
+}
+
+
+def _weighted_choice(rng: random.Random,
+                     weights: Dict[int, float]) -> int:
+    values = sorted(weights)
+    return rng.choices(values, weights=[weights[v] for v in values],
+                       k=1)[0]
+
+
+def generate_prefixes(count: int, seed: int = 0) -> List[Prefix]:
+    """Generate ``count`` distinct prefixes with a DFZ-like length mix."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = random.Random(seed)
+    seen: Set[Prefix] = set()
+    result: List[Prefix] = []
+    while len(result) < count:
+        length = _weighted_choice(rng, PREFIX_LENGTH_WEIGHTS)
+        # Stay inside 1.0.0.0/8 .. 223.0.0.0/8 (unicast space).
+        first_octet = rng.randint(1, 223)
+        rest = rng.getrandbits(24)
+        address = (first_octet << 24) | rest
+        mask = ((1 << length) - 1) << (32 - length) if length else 0
+        prefix = Prefix(address=address & mask, length=length)
+        if prefix not in seen:
+            seen.add(prefix)
+            result.append(prefix)
+    return result
+
+
+def generate_path(rng: random.Random, origin_pool: Sequence[int],
+                  first_hop: int) -> Tuple[int, ...]:
+    """A loop-free AS path starting at ``first_hop``."""
+    target_len = _weighted_choice(rng, PATH_LENGTH_WEIGHTS)
+    path = [first_hop]
+    while len(path) < target_len:
+        candidate = rng.choice(origin_pool)
+        if candidate not in path:
+            path.append(candidate)
+    return tuple(path)
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """One snapshot entry: a prefix and the path it is reachable over."""
+
+    prefix: Prefix
+    path: Tuple[int, ...]
+
+
+def generate_rib_snapshot(n_prefixes: int, seed: int = 0,
+                          feed_asn: int = 65000,
+                          as_pool_size: int = 2000) -> List[RibEntry]:
+    """A synthetic RIB snapshot as seen from one full-feed session.
+
+    All paths start with ``feed_asn`` (the phantom RouteViews peer).
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    pool = list(range(3000, 3000 + as_pool_size))
+    prefixes = generate_prefixes(n_prefixes, seed=seed)
+    return [
+        RibEntry(prefix=prefix,
+                 path=generate_path(rng, pool, first_hop=feed_asn))
+        for prefix in prefixes
+    ]
+
+
+def length_histogram(prefixes: Sequence[Prefix]) -> Dict[int, int]:
+    histogram: Dict[int, int] = {}
+    for prefix in prefixes:
+        histogram[prefix.length] = histogram.get(prefix.length, 0) + 1
+    return histogram

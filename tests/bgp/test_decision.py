@@ -1,0 +1,144 @@
+"""Tests for the lexicographic BGP decision process."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.decision import best_route, compare, rank, total_preference
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Origin, Route
+
+P = Prefix.parse("203.0.113.0/24")
+Q = Prefix.parse("198.51.100.0/24")
+
+
+def mk(neighbor=1, path=(1, 9), lp=100, med=0, origin=Origin.IGP, rid=0):
+    return Route(prefix=P, as_path=tuple(path), neighbor=neighbor,
+                 local_pref=lp, med=med, origin=origin, router_id=rid)
+
+
+class TestBestRoute:
+    def test_empty_returns_none(self):
+        assert best_route([]) is None
+
+    def test_single_candidate_wins(self):
+        r = mk()
+        assert best_route([r]) == r
+
+    def test_local_pref_dominates_path_length(self):
+        long_but_preferred = mk(neighbor=1, path=(1, 5, 6, 7, 9), lp=120)
+        short = mk(neighbor=2, path=(2, 9), lp=100)
+        assert best_route([long_but_preferred, short]) == long_but_preferred
+
+    def test_path_length_breaks_local_pref_tie(self):
+        short = mk(neighbor=2, path=(2, 9), lp=100)
+        long = mk(neighbor=1, path=(1, 5, 9), lp=100)
+        assert best_route([short, long]) == short
+
+    def test_origin_breaks_path_tie(self):
+        igp = mk(neighbor=1, path=(1, 9), origin=Origin.IGP)
+        egp = mk(neighbor=2, path=(2, 9), origin=Origin.EGP)
+        incomplete = mk(neighbor=3, path=(3, 9), origin=Origin.INCOMPLETE)
+        assert best_route([egp, incomplete, igp]) == igp
+
+    def test_med_compared_within_same_neighbor_only(self):
+        # Same neighbor AS: lower MED wins.
+        low_med = mk(neighbor=1, path=(1, 9), med=5, rid=2)
+        high_med = mk(neighbor=1, path=(1, 8), med=50, rid=1)
+        assert best_route([high_med, low_med]) == low_med
+
+    def test_med_ignored_across_neighbors(self):
+        # Different neighbor ASes: MED must not decide; router id does.
+        a = mk(neighbor=1, path=(1, 9), med=100, rid=1)
+        b = mk(neighbor=2, path=(2, 9), med=0, rid=2)
+        assert best_route([a, b]) == a
+
+    def test_router_id_tiebreak(self):
+        a = mk(neighbor=1, path=(1, 9), rid=1)
+        b = mk(neighbor=2, path=(2, 9), rid=2)
+        assert best_route([a, b]) == a
+
+    def test_neighbor_asn_final_tiebreak(self):
+        a = mk(neighbor=1, path=(1, 9))
+        b = mk(neighbor=2, path=(2, 9))
+        assert best_route([a, b]) == a
+
+    def test_mixed_prefixes_rejected(self):
+        a = mk()
+        b = Route(prefix=Q, as_path=(2, 9), neighbor=2)
+        with pytest.raises(ValueError):
+            best_route([a, b])
+
+
+class TestRankAndCompare:
+    def test_rank_orders_best_first(self):
+        best = mk(neighbor=1, path=(1, 9), lp=120)
+        mid = mk(neighbor=2, path=(2, 9), lp=100)
+        worst = mk(neighbor=3, path=(3, 5, 9), lp=100)
+        assert rank([worst, best, mid]) == [best, mid, worst]
+
+    def test_rank_is_permutation(self):
+        routes = [mk(neighbor=i, path=(i, 9), rid=i) for i in range(1, 6)]
+        assert sorted(map(id, rank(routes))) == sorted(map(id, routes))
+
+    def test_compare_consistent_with_best(self):
+        a = mk(neighbor=1, lp=120)
+        b = mk(neighbor=2, lp=100)
+        assert compare(a, b) == 1
+        assert compare(b, a) == -1
+
+    def test_compare_self_positive_by_identity(self):
+        a = mk()
+        assert compare(a, a) == 0
+
+    def test_total_preference_sort_key(self):
+        routes = [mk(neighbor=i, path=(i, 9), lp=100 + i, rid=i)
+                  for i in range(1, 5)]
+        best_first = sorted(routes, key=total_preference, reverse=True)
+        assert best_first[0] == best_route(routes)
+
+
+@st.composite
+def candidate_sets(draw):
+    n = draw(st.integers(1, 6))
+    routes = []
+    for i in range(n):
+        path_tail = draw(st.lists(st.integers(100, 200), min_size=0,
+                                  max_size=4, unique=True))
+        neighbor = i + 1
+        routes.append(Route(
+            prefix=P, as_path=tuple([neighbor] + path_tail),
+            neighbor=neighbor,
+            local_pref=draw(st.integers(80, 120)),
+            med=draw(st.integers(0, 10)),
+            origin=draw(st.sampled_from(list(Origin))),
+            router_id=draw(st.integers(0, 5)),
+        ))
+    return routes
+
+
+class TestDecisionProperties:
+    @given(candidate_sets())
+    def test_winner_is_a_candidate(self, routes):
+        assert best_route(routes) in routes
+
+    @given(candidate_sets())
+    def test_winner_has_maximal_local_pref(self, routes):
+        winner = best_route(routes)
+        assert winner.local_pref == max(r.local_pref for r in routes)
+
+    @given(candidate_sets())
+    def test_deterministic(self, routes):
+        assert best_route(routes) == best_route(list(reversed(routes)))
+
+    @given(candidate_sets())
+    def test_rank_head_is_best(self, routes):
+        assert rank(routes)[0] == best_route(routes)
+
+    @given(candidate_sets())
+    def test_removal_of_winner_promotes_second(self, routes):
+        ordered = rank(routes)
+        if len(ordered) > 1:
+            rest = list(routes)
+            rest.remove(ordered[0])
+            assert best_route(rest) == ordered[1]

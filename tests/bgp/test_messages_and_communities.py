@@ -1,0 +1,64 @@
+"""Coverage for the UPDATE message helpers and community utilities."""
+
+import pytest
+
+from repro.bgp.communities import NO_EXPORT, community, encode_community, \
+    format_community, parse_community
+from repro.bgp.messages import Announce, Withdraw, route_of, update_prefix
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+
+P = Prefix.parse("203.0.113.0/24")
+ROUTE = Route(prefix=P, as_path=(1, 9), neighbor=1)
+
+
+class TestMessages:
+    def test_announce_fields(self):
+        msg = Announce(sender=1, receiver=5, route=ROUTE)
+        assert msg.prefix == P
+        assert update_prefix(msg) == P
+        assert route_of(msg) == ROUTE
+
+    def test_withdraw_fields(self):
+        msg = Withdraw(sender=1, receiver=5, prefix=P)
+        assert update_prefix(msg) == P
+        assert route_of(msg) is None
+
+    def test_wire_sizes_include_header(self):
+        announce = Announce(sender=1, receiver=5, route=ROUTE)
+        withdraw = Withdraw(sender=1, receiver=5, prefix=P)
+        assert announce.wire_size() == 23 + len(ROUTE.to_bytes())
+        assert withdraw.wire_size() == 28
+
+    def test_str_representations(self):
+        assert "ANNOUNCE 1->5" in str(Announce(sender=1, receiver=5,
+                                               route=ROUTE))
+        assert "WITHDRAW 1->5" in str(Withdraw(sender=1, receiver=5,
+                                               prefix=P))
+
+
+class TestCommunities:
+    def test_community_validation(self):
+        assert community(65001, 80) == (65001, 80)
+        with pytest.raises(ValueError):
+            community(70000, 0)
+        with pytest.raises(ValueError):
+            community(0, 70000)
+
+    def test_parse_and_format_roundtrip(self):
+        tag = parse_community("65001:80")
+        assert tag == (65001, 80)
+        assert format_community(tag) == "65001:80"
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_community("no-colon")
+        with pytest.raises(ValueError):
+            parse_community("a:b")
+
+    def test_encode_is_four_bytes_big_endian(self):
+        assert encode_community((0x1234, 0x5678)) == \
+            b"\x12\x34\x56\x78"
+
+    def test_well_known_values(self):
+        assert NO_EXPORT == (0xFFFF, 0xFF01)

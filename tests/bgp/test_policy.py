@@ -1,0 +1,220 @@
+"""Tests for import/export policy, including the Figure 2 community actions."""
+
+import pytest
+
+from repro.bgp.communities import ActionKind, CommunityAction, NO_ADVERTISE, \
+    NO_EXPORT, community, local_pref_tiers
+from repro.bgp.policy import ExportPolicy, ImportPolicy, NeighborConfig, \
+    Relation, RELATION_LOCAL_PREF, gao_rexford_policy
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+
+P = Prefix.parse("203.0.113.0/24")
+LOCAL = 5
+
+
+def neighbors(**kwargs):
+    return {asn: NeighborConfig(asn=asn, relation=rel)
+            for asn, rel in kwargs.items()}
+
+
+@pytest.fixture()
+def policies():
+    relations = {1: Relation.CUSTOMER, 2: Relation.PEER,
+                 3: Relation.PROVIDER}
+    return gao_rexford_policy(LOCAL, relations)
+
+
+class TestImportPolicy:
+    def test_sets_local_pref_by_relation(self, policies):
+        imports, _ = policies
+        route = Route(prefix=P, as_path=(1, 9), neighbor=1)
+        assert imports.apply(route, 1).local_pref == \
+            RELATION_LOCAL_PREF[Relation.CUSTOMER]
+        route = Route(prefix=P, as_path=(3, 9), neighbor=3)
+        assert imports.apply(route, 3).local_pref == \
+            RELATION_LOCAL_PREF[Relation.PROVIDER]
+
+    def test_unknown_neighbor_defaults_to_peer_pref(self):
+        imports = ImportPolicy(local_asn=LOCAL)
+        route = Route(prefix=P, as_path=(7, 9), neighbor=7)
+        assert imports.apply(route, 7).local_pref == \
+            RELATION_LOCAL_PREF[Relation.PEER]
+
+    def test_rejects_own_as_in_path(self, policies):
+        imports, _ = policies
+        route = Route(prefix=P, as_path=(1, LOCAL, 9), neighbor=1)
+        assert imports.apply(route, 1) is None
+
+    def test_rejects_path_not_starting_with_neighbor(self, policies):
+        imports, _ = policies
+        route = Route(prefix=P, as_path=(9, 8), neighbor=1)
+        assert imports.apply(route, 1) is None
+
+    def test_rejects_too_long_prefix(self):
+        imports = ImportPolicy(local_asn=LOCAL, max_prefix_length=24)
+        long_prefix = Prefix.parse("203.0.113.0/25")
+        route = Route(prefix=long_prefix, as_path=(1,), neighbor=1)
+        assert imports.apply(route, 1) is None
+
+    def test_community_action_overrides_local_pref(self, policies):
+        imports, _ = policies
+        tag = community(LOCAL, 70)
+        imports.add_action(CommunityAction(
+            tag=tag, kind=ActionKind.SET_LOCAL_PREF, parameter=70))
+        route = Route(prefix=P, as_path=(1, 9), neighbor=1,
+                      communities=frozenset({tag}))
+        assert imports.apply(route, 1).local_pref == 70
+
+    def test_multiple_matching_tags_use_minimum(self, policies):
+        imports, _ = policies
+        t1, t2 = community(LOCAL, 70), community(LOCAL, 90)
+        imports.add_action(CommunityAction(
+            tag=t1, kind=ActionKind.SET_LOCAL_PREF, parameter=70))
+        imports.add_action(CommunityAction(
+            tag=t2, kind=ActionKind.SET_LOCAL_PREF, parameter=90))
+        route = Route(prefix=P, as_path=(1, 9), neighbor=1,
+                      communities=frozenset({t1, t2}))
+        assert imports.apply(route, 1).local_pref == 70
+
+    def test_local_pref_tiers_helper(self):
+        actions = local_pref_tiers(LOCAL, (80, 100, 120))
+        assert len(actions) == 3
+        assert {a.parameter for a in actions} == {80, 100, 120}
+        assert all(a.kind is ActionKind.SET_LOCAL_PREF for a in actions)
+
+    def test_local_pref_tiers_requires_tier(self):
+        with pytest.raises(ValueError):
+            local_pref_tiers(LOCAL, ())
+
+
+class TestExportPolicy:
+    def _imported(self, imports, neighbor, path):
+        return imports.apply(
+            Route(prefix=P, as_path=path, neighbor=neighbor), neighbor)
+
+    def test_customer_route_exported_everywhere(self, policies):
+        imports, exports = policies
+        route = self._imported(imports, 1, (1, 9))
+        for neighbor in (2, 3):
+            exported = exports.apply(route, neighbor)
+            assert exported is not None
+            assert exported.as_path[0] == LOCAL
+
+    def test_peer_route_only_to_customers(self, policies):
+        imports, exports = policies
+        route = self._imported(imports, 2, (2, 9))
+        assert exports.apply(route, 1) is not None   # to customer: yes
+        assert exports.apply(route, 3) is None       # to provider: no
+
+    def test_provider_route_only_to_customers(self, policies):
+        imports, exports = policies
+        route = self._imported(imports, 3, (3, 9))
+        assert exports.apply(route, 1) is not None
+        assert exports.apply(route, 2) is None
+
+    def test_locally_originated_exported_everywhere(self, policies):
+        _, exports = policies
+        route = Route(prefix=P, as_path=(LOCAL,), neighbor=0)
+        # Path already contains LOCAL, so prepending would loop; the
+        # speaker exports its origin route pre-prepended.  Model that by a
+        # fresh origination route with empty path handled via len<=1 rule.
+        local = Route(prefix=P, as_path=(), neighbor=0)
+        for neighbor in (1, 2, 3):
+            assert exports.apply(local, neighbor) is not None
+
+    def test_no_export_community_suppresses(self, policies):
+        imports, exports = policies
+        route = self._imported(imports, 1, (1, 9)).with_communities(
+            NO_EXPORT)
+        assert exports.apply(route, 2) is None
+
+    def test_no_advertise_community_suppresses(self, policies):
+        imports, exports = policies
+        route = self._imported(imports, 1, (1, 9)).with_communities(
+            NO_ADVERTISE)
+        assert exports.apply(route, 2) is None
+
+    def test_selective_export_by_specific_as(self, policies):
+        imports, exports = policies
+        tag = community(LOCAL, 200)
+        exports.add_action(CommunityAction(
+            tag=tag, kind=ActionKind.SELECTIVE_EXPORT_AS, parameter=2))
+        route = self._imported(imports, 1, (1, 9)).with_communities(tag)
+        assert exports.apply(route, 2) is None
+        assert exports.apply(route, 3) is not None
+
+    def test_selective_export_by_group(self):
+        relations = {1: Relation.CUSTOMER, 2: Relation.CUSTOMER,
+                     3: Relation.CUSTOMER}
+        tag = community(LOCAL, 300)
+        imports, exports = gao_rexford_policy(
+            LOCAL, relations,
+            community_actions=[CommunityAction(
+                tag=tag, kind=ActionKind.SELECTIVE_EXPORT_GROUP,
+                parameter="transit-free")],
+            groups={2: ("transit-free",), 3: ("other",)})
+        route = Route(prefix=P, as_path=(1, 9), neighbor=1,
+                      communities=frozenset({tag}))
+        imported = imports.apply(route, 1)
+        assert exports.apply(imported, 2) is None
+        assert exports.apply(imported, 3) is not None
+
+    def test_export_never_sends_route_back_through_receiver(self, policies):
+        imports, exports = policies
+        route = self._imported(imports, 1, (1, 2, 9))
+        assert exports.apply(route, 2) is None
+
+    def test_local_action_tags_stripped_on_export(self, policies):
+        imports, exports = policies
+        tag = community(LOCAL, 70)
+        action = CommunityAction(tag=tag, kind=ActionKind.SET_LOCAL_PREF,
+                                 parameter=70)
+        imports.add_action(action)
+        exports.add_action(action)
+        route = self._imported(imports, 1, (1, 9)).with_communities(tag)
+        exported = exports.apply(route, 2)
+        assert tag not in exported.communities
+
+    def test_origin_info_tags_kept_on_export(self, policies):
+        imports, exports = policies
+        tag = community(LOCAL, 500)
+        action = CommunityAction(tag=tag, kind=ActionKind.ROUTE_ORIGIN_INFO,
+                                 parameter="JP")
+        exports.add_action(action)
+        route = self._imported(imports, 1, (1, 9)).with_communities(tag)
+        exported = exports.apply(route, 2)
+        assert tag in exported.communities
+
+    def test_gao_rexford_disabled_exports_peer_routes_to_peers(self):
+        relations = {2: Relation.PEER, 3: Relation.PEER}
+        imports, exports = gao_rexford_policy(LOCAL, relations)
+        exports.gao_rexford = False
+        route = imports.apply(
+            Route(prefix=P, as_path=(2, 9), neighbor=2), 2)
+        assert exports.apply(route, 3) is not None
+
+
+class TestPolicyConstruction:
+    def test_gao_rexford_policy_wires_actions_both_ways(self):
+        tag = community(LOCAL, 70)
+        action = CommunityAction(tag=tag, kind=ActionKind.SET_LOCAL_PREF,
+                                 parameter=70)
+        imports, exports = gao_rexford_policy(
+            LOCAL, {1: Relation.CUSTOMER}, community_actions=[action])
+        assert tag in imports.community_actions
+        assert tag in exports.community_actions
+
+    def test_action_parameter_types_validated(self):
+        with pytest.raises(TypeError):
+            CommunityAction(tag=community(1, 1),
+                            kind=ActionKind.SET_LOCAL_PREF,
+                            parameter="not an int")
+        with pytest.raises(TypeError):
+            CommunityAction(tag=community(1, 1),
+                            kind=ActionKind.SELECTIVE_EXPORT_GROUP,
+                            parameter=5)
+        with pytest.raises(TypeError):
+            CommunityAction(tag=community(1, 1),
+                            kind=ActionKind.SELECTIVE_EXPORT_AS,
+                            parameter="x")

@@ -1,0 +1,52 @@
+"""Shared fixtures for the VPref core tests.
+
+RSA key generation is the slowest operation in the suite, so identities
+are created once per session with small (512-bit) keys and shared.
+The canonical cast mirrors Figure 1/3: elector AS 5 ("Bob"), producers
+ASes 1-3 ("Charlie, Doris, Eliot"), consumers ASes 6-7 ("Alice" et al.).
+"""
+
+import pytest
+
+from repro.bgp.policy import Relation
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Route
+from repro.core.classes import relation_scheme
+from repro.crypto.keys import KeyRegistry, make_identity
+
+ELECTOR = 5
+PRODUCERS = (1, 2, 3)
+CONSUMERS = (6, 7)
+PREFIX = Prefix.parse("203.0.113.0/24")
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return KeyRegistry()
+
+
+@pytest.fixture(scope="session")
+def identities(registry):
+    return {
+        asn: make_identity(asn, registry=registry, bits=512, seed=1000 + asn)
+        for asn in (ELECTOR,) + PRODUCERS + CONSUMERS
+    }
+
+
+@pytest.fixture(scope="session")
+def relations():
+    """Business relations of the elector's producers, as the elector sees
+    them: AS 1 is a customer, ASes 2 and 3 are peers."""
+    return {1: Relation.CUSTOMER, 2: Relation.PEER, 3: Relation.PEER}
+
+
+@pytest.fixture(scope="session")
+def scheme(relations):
+    """Two-tier 'prefer customer' scheme: no-route < non-customer < customer."""
+    return relation_scheme(relations)
+
+
+def make_route(neighbor, path=None, prefix=PREFIX, local_pref=100):
+    path = path or (neighbor, 90 + neighbor)
+    return Route(prefix=prefix, as_path=tuple(path), neighbor=neighbor,
+                 local_pref=local_pref)

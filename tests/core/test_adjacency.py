@@ -1,0 +1,146 @@
+"""Tests for per-adjacency VPref instances (§8 AS atomicity)."""
+
+import pytest
+
+from repro.bgp.route import NULL_ROUTE
+from repro.core.adjacency import ADJACENCY_BASE, adjacency_id, \
+    adjacency_owner, dummy_adjacencies, register_adjacencies
+from repro.core.elector import Behavior
+from repro.core.promise import Promise, chain_promise, find_conflict, \
+    total_order_promise, trivial_promise
+from repro.core.protocol import run_round
+from repro.crypto.keys import Identity
+
+from .conftest import CONSUMERS, ELECTOR, PRODUCERS, make_route
+
+
+class TestAdjacencyIds:
+    def test_distinct_per_point(self):
+        assert adjacency_id(6, 0) != adjacency_id(6, 1)
+        assert adjacency_id(6, 0) != adjacency_id(7, 0)
+
+    def test_owner_roundtrip(self):
+        assert adjacency_owner(adjacency_id(6, 3)) == 6
+        assert adjacency_owner(42) == 42  # plain ASNs pass through
+
+    def test_never_collides_with_asns(self):
+        assert adjacency_id(65535, 999) >= ADJACENCY_BASE
+        assert adjacency_id(1, 0) >= ADJACENCY_BASE
+
+    def test_point_range_checked(self):
+        with pytest.raises(ValueError):
+            adjacency_id(6, 1000)
+
+    def test_register_shares_the_as_key(self, registry, identities):
+        points = register_adjacencies(registry, identities[6], points=2)
+        assert len(points) == 2
+        for identity in points:
+            assert registry.public_key(identity.asn) == \
+                identities[6].public_key
+            assert identity.private_key is identities[6].private_key
+
+
+class TestPerAdjacencyPromises:
+    def test_different_promises_per_adjacency(self, registry, identities,
+                                              scheme):
+        """Alice-in-Europe gets the full promise; Alice-in-Asia only a
+        partial one.  Both hold simultaneously (§3.1: 'an AS may make
+        different promises to different neighbors, each consistent with
+        what it is actually doing')."""
+        europe, asia = register_adjacencies(registry, identities[6],
+                                            points=2)
+        promises = {
+            europe.asn: total_order_promise(scheme),
+            asia.asn: chain_promise(scheme, [0, 2]),  # partial
+        }
+        routes = {1: make_route(neighbor=1), 2: make_route(neighbor=2)}
+        result = run_round(
+            registry=registry, elector_identity=identities[ELECTOR],
+            scheme=scheme,
+            producer_identities={p: identities[p] for p in routes},
+            producer_routes=routes,
+            consumer_identities={europe.asn: europe, asia.asn: asia},
+            promises=promises,
+        )
+        assert result.clean
+        assert result.offers[europe.asn] == routes[1]
+
+    def test_conflicting_adjacency_promises_found(self, scheme):
+        """Theorem 5 applies across adjacencies too: promising opposite
+        orders at two interconnection points is unkeepable."""
+        to_europe = Promise(scheme=scheme, order=frozenset({(1, 2)}))
+        to_asia = Promise(scheme=scheme, order=frozenset({(2, 1)}))
+        assert find_conflict([to_europe, to_asia]) is not None
+
+    def test_violation_at_one_adjacency_detected(self, registry,
+                                                 identities, scheme):
+        europe, asia = register_adjacencies(registry, identities[6],
+                                            points=2)
+        promises = {
+            europe.asn: total_order_promise(scheme),
+            asia.asn: total_order_promise(scheme),
+        }
+        routes = {1: make_route(neighbor=1), 2: make_route(neighbor=2)}
+        behavior = Behavior(offer_override={asia.asn: routes[2]})
+        result = run_round(
+            registry=registry, elector_identity=identities[ELECTOR],
+            scheme=scheme,
+            producer_identities={p: identities[p] for p in routes},
+            producer_routes=routes,
+            consumer_identities={europe.asn: europe, asia.asn: asia},
+            promises=promises, behavior=behavior,
+        )
+        detectors = {v.detector for v in result.verdicts}
+        assert asia.asn in detectors
+        assert europe.asn not in detectors
+
+
+class TestDummyAdjacencies:
+    def test_padding_to_total(self, scheme):
+        real = {adjacency_id(6, 0): total_order_promise(scheme)}
+        padded = dummy_adjacencies(scheme, real, total=4)
+        assert len(padded) == 4
+        assert adjacency_id(6, 0) in padded
+
+    def test_dummies_carry_trivial_promises(self, scheme):
+        real = {adjacency_id(6, 0): total_order_promise(scheme)}
+        padded = dummy_adjacencies(scheme, real, total=3)
+        for participant, promise in padded.items():
+            if participant != adjacency_id(6, 0):
+                assert promise.order == frozenset()
+
+    def test_dummies_never_cause_violations(self, registry, identities,
+                                            scheme):
+        real_points = register_adjacencies(registry, identities[6],
+                                           points=1)
+        real = {real_points[0].asn: total_order_promise(scheme)}
+        padded = dummy_adjacencies(scheme, real, total=3)
+        dummy_ids = [p for p in padded if p not in real]
+        dummy_identities = {
+            participant: Identity(asn=participant,
+                                  private_key=identities[6].private_key)
+            for participant in dummy_ids
+        }
+        for participant in dummy_ids:
+            registry.register(participant, identities[6].public_key)
+        consumers = {real_points[0].asn: real_points[0],
+                     **dummy_identities}
+        routes = {1: make_route(neighbor=1)}
+        result = run_round(
+            registry=registry, elector_identity=identities[ELECTOR],
+            scheme=scheme,
+            producer_identities={1: identities[1]},
+            producer_routes=routes,
+            consumer_identities=consumers, promises=padded,
+        )
+        assert result.clean
+
+    def test_total_below_real_rejected(self, scheme):
+        real = {adjacency_id(6, 0): total_order_promise(scheme),
+                adjacency_id(6, 1): total_order_promise(scheme)}
+        with pytest.raises(ValueError):
+            dummy_adjacencies(scheme, real, total=1)
+
+    def test_empty_real_rejected(self, scheme):
+        with pytest.raises(ValueError):
+            dummy_adjacencies(scheme, {}, total=3)

@@ -1,0 +1,152 @@
+"""Tests for indifference-class schemes (Section 3 examples)."""
+
+import pytest
+
+from repro.bgp.policy import Relation
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import NULL_ROUTE, Route
+from repro.core.classes import ClassScheme, local_pref_scheme, \
+    path_length_scheme, relation_scheme, relation_with_path_length_scheme, \
+    selective_export_scheme
+
+P = Prefix.parse("203.0.113.0/24")
+
+
+def route(neighbor=1, path=(1, 9), lp=100):
+    return Route(prefix=P, as_path=tuple(path), neighbor=neighbor,
+                 local_pref=lp)
+
+
+class TestClassScheme:
+    def test_requires_labels(self):
+        with pytest.raises(ValueError):
+            ClassScheme(labels=(), classify_fn=lambda r: 0)
+
+    def test_requires_unique_labels(self):
+        with pytest.raises(ValueError):
+            ClassScheme(labels=("a", "a"), classify_fn=lambda r: 0)
+
+    def test_out_of_range_classification_rejected(self):
+        scheme = ClassScheme(labels=("only",), classify_fn=lambda r: 5)
+        with pytest.raises(ValueError):
+            scheme.classify(NULL_ROUTE)
+
+    def test_none_classification_rejected(self):
+        scheme = ClassScheme(labels=("only",), classify_fn=lambda r: None)
+        with pytest.raises(ValueError):
+            scheme.classify(NULL_ROUTE)
+
+    def test_encode_depends_on_labels(self):
+        a = ClassScheme(labels=("x", "y"), classify_fn=lambda r: 0)
+        b = ClassScheme(labels=("x", "z"), classify_fn=lambda r: 0)
+        assert a.encode() != b.encode()
+
+    def test_label_of(self):
+        scheme = relation_scheme({1: Relation.CUSTOMER})
+        assert scheme.label_of(route(neighbor=1)) == "customer-routes"
+
+
+class TestRelationScheme:
+    def test_two_tier_gao_rexford(self):
+        scheme = relation_scheme({1: Relation.CUSTOMER, 2: Relation.PEER})
+        assert scheme.k == 3
+        assert scheme.classify(NULL_ROUTE) == 0
+        assert scheme.classify(route(neighbor=2, path=(2, 9))) == 1
+        assert scheme.classify(route(neighbor=1)) == 2
+
+    def test_three_tier(self):
+        scheme = relation_scheme(
+            {1: Relation.CUSTOMER, 2: Relation.PEER, 3: Relation.PROVIDER},
+            include_provider_tier=True)
+        assert scheme.k == 4
+        assert scheme.classify(route(neighbor=3, path=(3, 9))) == 1
+        assert scheme.classify(route(neighbor=2, path=(2, 9))) == 2
+        assert scheme.classify(route(neighbor=1)) == 3
+
+    def test_unknown_neighbor_is_non_customer(self):
+        scheme = relation_scheme({1: Relation.CUSTOMER})
+        assert scheme.classify(route(neighbor=42, path=(42, 9))) == 1
+
+    def test_sibling_counts_as_peer_tier(self):
+        scheme = relation_scheme({4: Relation.SIBLING},
+                                 include_provider_tier=True)
+        assert scheme.classify(route(neighbor=4, path=(4, 9))) == 2
+
+
+class TestLocalPrefScheme:
+    def test_tiers(self):
+        scheme = local_pref_scheme([80, 100, 120])
+        assert scheme.k == 4
+        assert scheme.classify(NULL_ROUTE) == 0
+        assert scheme.classify(route(lp=79)) == 0
+        assert scheme.classify(route(lp=80)) == 1
+        assert scheme.classify(route(lp=119)) == 2
+        assert scheme.classify(route(lp=500)) == 3
+
+    def test_rejects_unsorted_thresholds(self):
+        with pytest.raises(ValueError):
+            local_pref_scheme([100, 80])
+
+    def test_rejects_duplicate_thresholds(self):
+        with pytest.raises(ValueError):
+            local_pref_scheme([100, 100])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            local_pref_scheme([])
+
+
+class TestPathLengthScheme:
+    def test_shorter_paths_get_higher_classes(self):
+        scheme = path_length_scheme(5)
+        assert scheme.k == 6
+        one_hop = scheme.classify(route(path=(1,)))
+        two_hop = scheme.classify(route(path=(1, 9)))
+        assert one_hop == 5 and two_hop == 4
+
+    def test_null_and_overlong_share_class_zero(self):
+        scheme = path_length_scheme(3)
+        assert scheme.classify(NULL_ROUTE) == 0
+        assert scheme.classify(route(path=(1, 2, 3, 4))) == 0
+
+    def test_evaluation_scale_50_classes(self):
+        # Section 7.2: "defined 50 indifference classes based on the
+        # number of hops".
+        scheme = path_length_scheme(49)
+        assert scheme.k == 50
+
+    def test_rejects_zero_max(self):
+        with pytest.raises(ValueError):
+            path_length_scheme(0)
+
+
+class TestSelectiveExportScheme:
+    def test_null_route_sits_between(self):
+        scheme = selective_export_scheme(
+            lambda r: not r.traverses(13))
+        good = route(path=(1, 9))
+        secret = route(path=(1, 13, 9))
+        assert scheme.classify(secret) == 0
+        assert scheme.classify(NULL_ROUTE) == 1
+        assert scheme.classify(good) == 2
+
+
+class TestRelationWithPathLength:
+    def test_splits_classes_by_length(self):
+        relations = {1: Relation.CUSTOMER, 2: Relation.PEER}
+        scheme = relation_with_path_length_scheme(relations, max_length=3)
+        assert scheme.k == 7  # ⊥ + 3 non-customer + 3 customer
+        short_cust = scheme.classify(route(neighbor=1, path=(1,)))
+        long_cust = scheme.classify(route(neighbor=1, path=(1, 8, 9)))
+        short_peer = scheme.classify(route(neighbor=2, path=(2,)))
+        assert short_cust > long_cust  # same group: shorter is higher
+        assert short_cust > short_peer  # customer group sits above
+
+    def test_labels_follow_paper_wording(self):
+        scheme = relation_with_path_length_scheme(
+            {2: Relation.PEER}, max_length=3)
+        assert "non-customer-length-2" in scheme.labels
+
+    def test_rejects_zero_max(self):
+        with pytest.raises(ValueError):
+            relation_with_path_length_scheme({}, max_length=0)

@@ -1,0 +1,127 @@
+"""Tests for the §4.6 collusion boundary.
+
+The paper (and its technical report) state: with colluding producers,
+detection is guaranteed only for violations that exist for *any*
+combination of the colluders' inputs.  These tests check both directions
+— maskable violations really can be masked end to end, and unmaskable
+ones are detected even with the colluder's help.
+"""
+
+import pytest
+
+from repro.bgp.route import NULL_ROUTE
+from repro.core.collusion import masking_assignment, \
+    offer_conforms_with_classes, violation_detectable
+from repro.core.elector import Behavior
+from repro.core.promise import total_order_promise
+from repro.core.protocol import run_round
+
+from .conftest import CONSUMERS, ELECTOR, make_route
+
+
+@pytest.fixture()
+def promises(scheme):
+    return {c: total_order_promise(scheme) for c in CONSUMERS}
+
+
+class TestMaskingSearch:
+    def test_no_colluders_reduces_to_plain_violation(self, scheme,
+                                                     promises):
+        customer = make_route(neighbor=1)   # class 2 (top)
+        peer = make_route(neighbor=2)       # class 1
+        # Offering the peer route while an honest customer route exists
+        # is detectable: nobody can retract the customer input.
+        assert violation_detectable(
+            scheme, promises, honest_inputs=[customer, peer],
+            colluders=[], offers={c: peer for c in CONSUMERS})
+
+    def test_colluder_can_retract_its_own_better_route(self, scheme,
+                                                       promises):
+        """The better route came from the colluder: it simply pretends
+        it sent nothing, and the offer conforms — undetectable."""
+        customer = make_route(neighbor=1)   # colluder's (better) route
+        peer = make_route(neighbor=2)       # honest producer's route
+        assignment = masking_assignment(
+            scheme, promises, honest_inputs=[peer], colluders=[1],
+            offers={c: peer for c in CONSUMERS})
+        assert assignment is not None
+        assert assignment[1] is None  # the colluder claims ⊥
+
+    def test_honest_better_route_cannot_be_masked(self, scheme,
+                                                  promises):
+        """The better route came from an *honest* producer: no colluder
+        story removes it, so detection is guaranteed."""
+        customer = make_route(neighbor=1)   # honest, acknowledged
+        peer = make_route(neighbor=2)       # colluder's route
+        assert violation_detectable(
+            scheme, promises, honest_inputs=[customer],
+            colluders=[2], offers={c: peer for c in CONSUMERS},
+            required={2: scheme.classify(peer)})
+
+    def test_required_claim_pins_exported_colluder_route(self, scheme,
+                                                         promises):
+        """A colluder whose own route was exported cannot also claim ⊥
+        (consumers hold its signature), so it cannot mask a violation
+        against a *better* class it also produced... unless the claims
+        are separable."""
+        peer = make_route(neighbor=2)
+        # The colluder's exported peer route pins claim=class(peer); the
+        # violation would need a class above ⊥ anyway — conforming.
+        assignment = masking_assignment(
+            scheme, promises, honest_inputs=[], colluders=[2],
+            offers={c: peer for c in CONSUMERS},
+            required={2: scheme.classify(peer)})
+        assert assignment == {2: scheme.classify(peer)}
+
+    def test_offer_conforms_with_classes_helper(self, scheme, promises):
+        promise = promises[CONSUMERS[0]]
+        assert offer_conforms_with_classes(promise, {0, 2}, 2)
+        assert not offer_conforms_with_classes(promise, {0, 2}, 1)
+
+
+class TestEndToEndCollusion:
+    def test_masked_violation_goes_undetected(self, registry, identities,
+                                              scheme, promises):
+        """Protocol-level confirmation of the §4.6 caveat: the colluding
+        producer advertises ⊥ instead of its customer route, the elector
+        honestly runs on the lie, and nobody detects anything — yet the
+        'real' best route was suppressed."""
+        peer = make_route(neighbor=2)
+        result = run_round(
+            registry=registry, elector_identity=identities[ELECTOR],
+            scheme=scheme,
+            producer_identities={1: identities[1], 2: identities[2]},
+            # Producer 1 colludes: it claims ⊥ although it has a
+            # customer route it would normally advertise.
+            producer_routes={1: NULL_ROUTE, 2: peer},
+            consumer_identities={c: identities[c] for c in CONSUMERS},
+            promises=promises,
+        )
+        assert result.clean           # undetectable, as the paper says
+        assert result.offers[CONSUMERS[0]] == peer
+
+    def test_unmaskable_violation_still_detected(self, registry,
+                                                 identities, scheme,
+                                                 promises):
+        """When the better route is honest, the elector + colluder pair
+        still cannot escape: the honest producer's acknowledgment pins
+        the input."""
+        customer = make_route(neighbor=1)   # honest
+        peer = make_route(neighbor=2)       # colluder
+        behavior = Behavior(
+            choose=lambda inputs, p: peer,
+            offer_override={c: peer for c in CONSUMERS})
+        result = run_round(
+            registry=registry, elector_identity=identities[ELECTOR],
+            scheme=scheme,
+            producer_identities={1: identities[1], 2: identities[2]},
+            producer_routes={1: customer, 2: peer},
+            consumer_identities={c: identities[c] for c in CONSUMERS},
+            promises=promises, behavior=behavior,
+        )
+        assert not result.clean
+        # Matches the analytical boundary:
+        assert violation_detectable(
+            scheme, promises, honest_inputs=[customer], colluders=[2],
+            offers={c: peer for c in CONSUMERS},
+            required={2: scheme.classify(peer)})

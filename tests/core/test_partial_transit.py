@@ -1,0 +1,89 @@
+"""Tests for the partial-transit promise (§3.2: 'routes to Japan')."""
+
+import pytest
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import NULL_ROUTE, Route
+from repro.core.classes import partial_transit_scheme
+from repro.core.elector import Behavior
+from repro.core.promise import total_order_promise
+from repro.core.protocol import run_round
+from repro.core.verdict import FaultKind
+
+from .conftest import CONSUMERS, ELECTOR, identities, registry
+
+REGION = [Prefix.parse("43.0.0.0/8"), Prefix.parse("133.0.0.0/8")]
+IN_REGION = Prefix.parse("43.1.2.0/24")
+OUTSIDE = Prefix.parse("203.0.113.0/24")
+
+
+def route(prefix, neighbor=1):
+    return Route(prefix=prefix, as_path=(neighbor, 90 + neighbor),
+                 neighbor=neighbor)
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return partial_transit_scheme(REGION)
+
+
+class TestScheme:
+    def test_region_routes_above_null(self, scheme):
+        assert scheme.classify(route(IN_REGION)) == 2
+        assert scheme.classify(NULL_ROUTE) == 1
+        assert scheme.classify(route(OUTSIDE)) == 0
+
+    def test_region_containment_by_any_covering_prefix(self, scheme):
+        assert scheme.classify(route(Prefix.parse("133.5.0.0/16"))) == 2
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            partial_transit_scheme([])
+
+
+class TestProtocol:
+    def run(self, registry, identities, scheme, prefix_route,
+            behavior=None):
+        consumer = CONSUMERS[0]
+        return run_round(
+            registry=registry, elector_identity=identities[ELECTOR],
+            scheme=scheme,
+            producer_identities={1: identities[1]},
+            producer_routes={1: prefix_route},
+            consumer_identities={consumer: identities[consumer]},
+            promises={consumer: total_order_promise(scheme)},
+            behavior=behavior or Behavior(),
+        ), consumer
+
+    def test_region_route_delivered(self, registry, identities, scheme):
+        result, consumer = self.run(registry, identities, scheme,
+                                    route(IN_REGION))
+        assert result.clean
+        assert result.offers[consumer].prefix == IN_REGION
+
+    def test_outside_route_filtered(self, registry, identities, scheme):
+        result, consumer = self.run(registry, identities, scheme,
+                                    route(OUTSIDE))
+        assert result.clean
+        assert result.offers[consumer] is NULL_ROUTE
+
+    def test_withholding_region_route_detected(self, registry,
+                                               identities, scheme):
+        consumer = CONSUMERS[0]
+        behavior = Behavior(offer_override={consumer: NULL_ROUTE})
+        result, _ = self.run(registry, identities, scheme,
+                             route(IN_REGION), behavior=behavior)
+        kinds = {v.kind for v in result.verdicts}
+        assert FaultKind.BROKEN_PROMISE in kinds
+
+    def test_leaking_outside_route_detected(self, registry, identities,
+                                            scheme):
+        consumer = CONSUMERS[0]
+        outside = route(OUTSIDE)
+        behavior = Behavior(
+            choose=lambda inputs, promises: outside,
+            offer_override={consumer: outside})
+        result, _ = self.run(registry, identities, scheme, outside,
+                             behavior=behavior)
+        kinds = {v.kind for v in result.verdicts}
+        assert FaultKind.BROKEN_PROMISE in kinds

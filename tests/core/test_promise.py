@@ -1,0 +1,157 @@
+"""Tests for promises: partial orders, violations, Theorem 5, signing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.policy import Relation
+from repro.bgp.route import NULL_ROUTE
+from repro.core.classes import ClassScheme, relation_scheme
+from repro.core.promise import InconsistentPromiseError, Promise, \
+    chain_promise, find_conflict, signed_promise, total_order_promise, \
+    trivial_promise, verify_signed_promise
+from repro.crypto.signatures import Signer
+
+from .conftest import ELECTOR, make_route
+
+
+def flat_scheme(k):
+    return ClassScheme(labels=tuple(f"c{i}" for i in range(k)),
+                       classify_fn=lambda r: 0)
+
+
+class TestPromiseConstruction:
+    def test_transitive_closure_computed(self):
+        p = Promise(scheme=flat_scheme(3), order=frozenset({(0, 1), (1, 2)}))
+        assert p.prefers(2, 0)
+
+    def test_reflexive_pair_rejected(self):
+        with pytest.raises(InconsistentPromiseError):
+            Promise(scheme=flat_scheme(2), order=frozenset({(0, 0)}))
+
+    def test_cycle_rejected(self):
+        with pytest.raises(InconsistentPromiseError):
+            Promise(scheme=flat_scheme(2),
+                    order=frozenset({(0, 1), (1, 0)}))
+
+    def test_indirect_cycle_rejected(self):
+        with pytest.raises(InconsistentPromiseError):
+            Promise(scheme=flat_scheme(3),
+                    order=frozenset({(0, 1), (1, 2), (2, 0)}))
+
+    def test_out_of_range_pair_rejected(self):
+        with pytest.raises(ValueError):
+            Promise(scheme=flat_scheme(2), order=frozenset({(0, 5)}))
+
+    def test_trivial_promise_prefers_nothing(self):
+        p = trivial_promise(flat_scheme(4))
+        assert not any(p.prefers(i, j)
+                       for i in range(4) for j in range(4))
+
+
+class TestOrderQueries:
+    def test_total_order_promise(self):
+        p = total_order_promise(flat_scheme(4))
+        assert p.prefers(3, 0)
+        assert p.prefers(1, 0)
+        assert not p.prefers(0, 1)
+        assert p.classes_above(1) == (2, 3)
+        assert p.classes_below(1) == (0,)
+
+    def test_chain_promise_partial(self):
+        # Order only classes 0 < 2; class 1 stays incomparable.
+        p = chain_promise(flat_scheme(3), [0, 2])
+        assert p.prefers(2, 0)
+        assert not p.comparable(1, 0)
+        assert not p.comparable(1, 2)
+        assert p.comparable(0, 0)
+
+    @given(st.integers(2, 6))
+    def test_total_order_antisymmetric(self, k):
+        p = total_order_promise(flat_scheme(k))
+        for i in range(k):
+            for j in range(k):
+                if p.prefers(i, j):
+                    assert not p.prefers(j, i)
+
+
+class TestViolationSemantics:
+    def test_violation_when_better_class_available(self, scheme):
+        p = total_order_promise(scheme)
+        customer = make_route(neighbor=1)
+        peer = make_route(neighbor=2)
+        assert p.is_violation(available=customer, exported=peer)
+
+    def test_no_violation_within_one_class(self, scheme):
+        p = total_order_promise(scheme)
+        peer_a = make_route(neighbor=2)
+        peer_b = make_route(neighbor=3)
+        assert not p.is_violation(available=peer_a, exported=peer_b)
+
+    def test_no_violation_when_incomparable(self, scheme):
+        p = trivial_promise(scheme)
+        assert not p.is_violation(available=make_route(neighbor=1),
+                                  exported=make_route(neighbor=2))
+
+    def test_exporting_null_when_route_owed_is_violation(self, scheme):
+        p = total_order_promise(scheme)
+        assert p.is_violation(available=make_route(neighbor=1),
+                              exported=NULL_ROUTE)
+
+
+class TestTheorem5:
+    def test_conflicting_promises_found(self):
+        scheme = flat_scheme(3)
+        to_a = Promise(scheme=scheme, order=frozenset({(1, 2)}))
+        to_b = Promise(scheme=scheme, order=frozenset({(2, 1)}))
+        assert find_conflict([to_a, to_b]) is not None
+
+    def test_consistent_promises_pass(self):
+        scheme = flat_scheme(3)
+        to_a = Promise(scheme=scheme, order=frozenset({(0, 1)}))
+        to_b = Promise(scheme=scheme, order=frozenset({(0, 2)}))
+        assert find_conflict([to_a, to_b]) is None
+
+    def test_conflict_via_transitivity(self):
+        scheme = flat_scheme(3)
+        to_a = Promise(scheme=scheme, order=frozenset({(0, 1), (1, 2)}))
+        to_b = Promise(scheme=scheme, order=frozenset({(2, 0)}))
+        assert find_conflict([to_a, to_b]) == (0, 2)
+
+    def test_mismatched_schemes_rejected(self):
+        with pytest.raises(ValueError):
+            find_conflict([trivial_promise(flat_scheme(2)),
+                           trivial_promise(flat_scheme(3))])
+
+
+class TestEncodingAndSigning:
+    def test_encode_distinguishes_orders(self, scheme):
+        assert total_order_promise(scheme).encode() != \
+            trivial_promise(scheme).encode()
+
+    def test_encode_stable(self, scheme):
+        assert total_order_promise(scheme).encode() == \
+            total_order_promise(scheme).encode()
+
+    def test_signed_promise_roundtrip(self, registry, identities, scheme):
+        promise = total_order_promise(scheme)
+        envelope = signed_promise(Signer(identities[ELECTOR]), promise)
+        assert verify_signed_promise(registry, ELECTOR, promise, envelope)
+
+    def test_signed_promise_wrong_promise_rejected(self, registry,
+                                                   identities, scheme):
+        envelope = signed_promise(Signer(identities[ELECTOR]),
+                                  total_order_promise(scheme))
+        assert not verify_signed_promise(registry, ELECTOR,
+                                         trivial_promise(scheme), envelope)
+
+    def test_signed_promise_wrong_signer_rejected(self, registry,
+                                                  identities, scheme):
+        promise = total_order_promise(scheme)
+        envelope = signed_promise(Signer(identities[1]), promise)
+        assert not verify_signed_promise(registry, ELECTOR, promise,
+                                         envelope)
+
+    def test_str_mentions_labels(self, scheme):
+        text = str(total_order_promise(scheme))
+        assert "customer-routes" in text

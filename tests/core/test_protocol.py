@@ -1,0 +1,295 @@
+"""End-to-end tests of one VPref round: honest runs and injected faults.
+
+These are the executable counterparts of the Section 7.4 functionality
+checks plus the commitment-phase faults from the Theorem 1 proof sketch.
+"""
+
+import pytest
+
+from repro.bgp.route import NULL_ROUTE
+from repro.core.classes import selective_export_scheme
+from repro.core.elector import Behavior
+from repro.core.promise import Promise, total_order_promise, \
+    trivial_promise
+from repro.core.protocol import run_round
+from repro.core.verdict import FaultKind, validate_pom
+
+from .conftest import CONSUMERS, ELECTOR, PRODUCERS, make_route
+
+
+def run(registry, identities, scheme, routes, promises=None,
+        behavior=None, **kwargs):
+    promises = promises if promises is not None else {
+        c: total_order_promise(scheme) for c in CONSUMERS}
+    consumers = {c: identities[c] for c in promises}
+    producers = {p: identities[p] for p in routes}
+    return run_round(
+        registry=registry,
+        elector_identity=identities[ELECTOR],
+        scheme=scheme,
+        producer_identities=producers,
+        producer_routes=routes,
+        consumer_identities=consumers,
+        promises=promises,
+        behavior=behavior or Behavior(),
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def routes():
+    return {1: make_route(neighbor=1),      # customer route
+            2: make_route(neighbor=2),      # peer route
+            3: NULL_ROUTE}                  # producer 3 has nothing
+
+
+class TestHonestRounds:
+    def test_clean_run(self, registry, identities, scheme, routes):
+        result = run(registry, identities, scheme, routes)
+        assert result.clean
+        assert result.chosen == routes[1]  # customer route wins
+
+    def test_offers_are_the_chosen_route(self, registry, identities,
+                                         scheme, routes):
+        result = run(registry, identities, scheme, routes)
+        assert result.offers == {c: routes[1] for c in CONSUMERS}
+
+    def test_all_null_inputs(self, registry, identities, scheme):
+        result = run(registry, identities, scheme,
+                     {p: NULL_ROUTE for p in PRODUCERS})
+        assert result.clean
+        assert result.chosen is NULL_ROUTE
+        assert all(offer is NULL_ROUTE
+                   for offer in result.offers.values())
+
+    def test_commitment_phase_only(self, registry, identities, scheme,
+                                   routes):
+        result = run(registry, identities, scheme, routes, verify=False)
+        assert result.clean
+
+    def test_single_producer_single_consumer(self, registry, identities,
+                                             scheme):
+        result = run_round(
+            registry=registry, elector_identity=identities[ELECTOR],
+            scheme=scheme,
+            producer_identities={1: identities[1]},
+            producer_routes={1: make_route(neighbor=1)},
+            consumer_identities={6: identities[6]},
+            promises={6: total_order_promise(scheme)},
+        )
+        assert result.clean
+
+    def test_trivial_promises_allow_any_choice(self, registry, identities,
+                                               scheme, routes):
+        promises = {c: trivial_promise(scheme) for c in CONSUMERS}
+        result = run(registry, identities, scheme, routes,
+                     promises=promises)
+        assert result.clean
+
+    def test_mismatched_inputs_rejected(self, registry, identities,
+                                        scheme):
+        with pytest.raises(ValueError):
+            run_round(
+                registry=registry, elector_identity=identities[ELECTOR],
+                scheme=scheme,
+                producer_identities={1: identities[1]},
+                producer_routes={2: NULL_ROUTE},
+                consumer_identities={}, promises={},
+            )
+
+
+class TestOveraggressiveFilter:
+    """Section 7.4 fault 1: a good route is filtered out.
+
+    Modeled as the elector pretending the customer route does not exist:
+    it picks the peer route and computes bits as if the customer input
+    had never arrived.
+    """
+
+    def test_detected_with_pom(self, registry, identities, scheme, routes):
+        from repro.core.bits import compute_bits
+
+        def ignore_customer(inputs, promises):
+            return routes[2]
+
+        def bits_without_customer(bits):
+            tampered = list(bits)
+            tampered[scheme.classify(routes[1])] = 0
+            return tuple(tampered)
+
+        behavior = Behavior(choose=ignore_customer,
+                            bits_tamper=bits_without_customer)
+        result = run(registry, identities, scheme, routes,
+                     behavior=behavior)
+        assert not result.clean
+        # The upstream AS (producer 1) finds no 1-proof for its class.
+        producer_verdicts = result.detected_by(1)
+        assert any(v.kind is FaultKind.FALSE_BIT for v in producer_verdicts)
+        for verdict in result.poms():
+            assert validate_pom(registry, scheme, verdict.pom)
+
+    def test_without_bit_tampering_consumer_detects(self, registry,
+                                                    identities, scheme,
+                                                    routes):
+        # If the elector keeps the bits honest but still offers the peer
+        # route, the consumers see a 1-proof for the customer class.
+        behavior = Behavior(choose=lambda inputs, promises: routes[2],
+                            offer_override={c: routes[2]
+                                            for c in CONSUMERS})
+        result = run(registry, identities, scheme, routes,
+                     behavior=behavior)
+        consumer_verdicts = [v for v in result.verdicts
+                             if v.detector in CONSUMERS]
+        assert any(v.kind is FaultKind.BROKEN_PROMISE
+                   for v in consumer_verdicts)
+        for verdict in result.poms():
+            assert validate_pom(registry, scheme, verdict.pom)
+
+
+class TestWronglyExporting:
+    """Section 7.4 fault 2: a 'not for export' route is exported anyway."""
+
+    @pytest.fixture()
+    def export_scheme(self):
+        # Routes through AS 13 must never be exported.
+        return selective_export_scheme(lambda r: not r.traverses(13))
+
+    def test_detected_by_consumer(self, registry, identities,
+                                  export_scheme):
+        secret = make_route(neighbor=2, path=(2, 13, 9))
+        routes = {2: secret}
+        promises = {c: total_order_promise(export_scheme)
+                    for c in CONSUMERS}
+        behavior = Behavior(
+            choose=lambda inputs, promises_: secret,
+            offer_override={c: secret for c in CONSUMERS},
+        )
+        result = run(registry, identities, export_scheme, routes,
+                     promises=promises, behavior=behavior)
+        assert not result.clean
+        # The consumer holds a 1-proof for the ⊥ class, which its promise
+        # ranks above the excluded class it received.
+        kinds = {v.kind for v in result.verdicts
+                 if v.detector in CONSUMERS}
+        assert FaultKind.BROKEN_PROMISE in kinds
+        for verdict in result.poms():
+            assert validate_pom(registry, export_scheme, verdict.pom)
+
+    def test_honest_elector_filters_instead(self, registry, identities,
+                                            export_scheme):
+        secret = make_route(neighbor=2, path=(2, 13, 9))
+        promises = {c: total_order_promise(export_scheme)
+                    for c in CONSUMERS}
+        result = run(registry, identities, export_scheme, {2: secret},
+                     promises=promises)
+        assert result.clean
+        assert all(offer is NULL_ROUTE
+                   for offer in result.offers.values())
+
+
+class TestTamperedBitProof:
+    """Section 7.4 fault 3: the elector flips a bit in a bit proof."""
+
+    def test_detected_as_invalid_proof(self, registry, identities, scheme,
+                                       routes):
+        customer_class = scheme.classify(routes[1])
+        behavior = Behavior(
+            choose=lambda inputs, promises: routes[2],
+            offer_override={c: routes[2] for c in CONSUMERS},
+            tamper_proofs={(c, customer_class) for c in CONSUMERS},
+        )
+        result = run(registry, identities, scheme, routes,
+                     behavior=behavior)
+        kinds = {v.kind for v in result.verdicts
+                 if v.detector in CONSUMERS}
+        assert FaultKind.INVALID_PROOF in kinds
+        for verdict in result.poms():
+            assert validate_pom(registry, scheme, verdict.pom)
+
+
+class TestEquivocation:
+    def test_inconsistent_commitments_detected(self, registry, identities,
+                                               scheme, routes):
+        behavior = Behavior(equivocate_to={6})
+        result = run(registry, identities, scheme, routes,
+                     behavior=behavior)
+        equivocations = [v for v in result.verdicts
+                         if v.kind is FaultKind.EQUIVOCATION]
+        assert equivocations
+        for verdict in equivocations:
+            assert verdict.accused == ELECTOR
+            assert validate_pom(registry, scheme, verdict.pom)
+
+
+class TestMissingMessages:
+    def test_missing_ack_raises_alarm(self, registry, identities, scheme,
+                                      routes):
+        behavior = Behavior(skip_acks={1})
+        result = run(registry, identities, scheme, routes,
+                     behavior=behavior, verify=False)
+        alarms = result.detected_by(1)
+        assert any(v.kind is FaultKind.MISSING_MESSAGE for v in alarms)
+
+    def test_dropped_proof_recovered_via_challenge(self, registry,
+                                                   identities, scheme,
+                                                   routes):
+        # The elector drops producer 1's proof initially but answers the
+        # relayed PROOFCHALLENGE honestly → no verdict survives.
+        customer_class = scheme.classify(routes[1])
+        behavior = Behavior(drop_proofs={(1, customer_class)})
+        result = run(registry, identities, scheme, routes,
+                     behavior=behavior)
+        assert result.clean
+
+    def test_dropped_proof_with_refusal_convicts(self, registry,
+                                                 identities, scheme,
+                                                 routes):
+        customer_class = scheme.classify(routes[1])
+        behavior = Behavior(drop_proofs={(1, customer_class)},
+                            refuse_challenges=True)
+        result = run(registry, identities, scheme, routes,
+                     behavior=behavior)
+        verdicts = result.detected_by(1)
+        assert any(v.kind is FaultKind.MISSING_PROOF for v in verdicts)
+        for verdict in result.poms():
+            assert validate_pom(registry, scheme, verdict.pom)
+
+
+class TestAccuracy:
+    """Theorem 3: no verdicts or valid evidence against a correct elector."""
+
+    def test_no_false_positives_across_input_mixes(self, registry,
+                                                   identities, scheme):
+        cases = [
+            {1: make_route(neighbor=1), 2: make_route(neighbor=2)},
+            {1: NULL_ROUTE, 2: make_route(neighbor=2)},
+            {1: make_route(neighbor=1), 2: NULL_ROUTE, 3: NULL_ROUTE},
+            {3: make_route(neighbor=3)},
+        ]
+        for routes in cases:
+            result = run(registry, identities, scheme, routes)
+            assert result.clean, \
+                f"false positive for inputs {routes}: {result.verdicts}"
+
+    def test_forged_pom_rejected(self, registry, identities, scheme,
+                                 routes):
+        """A consumer cannot doctor a clean round into evidence."""
+        from repro.core.verdict import ConsumerChallengePoM
+        from repro.core.promise import total_order_promise, signed_promise
+        from repro.crypto.signatures import Signer
+
+        result = run(registry, identities, scheme, routes)
+        assert result.clean
+        promise = total_order_promise(scheme)
+        # Fabricate a challenge claiming proofs were missing.
+        from repro.core.wire import OfferMsg
+        offer = OfferMsg.make(Signer(identities[6]), 0, 6, routes[2], None)
+        pom = ConsumerChallengePoM(
+            offer=offer, promise=promise,
+            signed_promise=signed_promise(Signer(identities[ELECTOR]),
+                                          promise),
+            commitment=result.commitments[6],
+            responses=(None,), challenged_classes=(2,),
+        )
+        # The offer is signed by the consumer, not the elector → invalid.
+        assert not validate_pom(registry, scheme, pom)

@@ -1,0 +1,81 @@
+"""Unit tests for the truncated-SHA-512 hashing layer."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto import hashing
+
+
+class TestDigest:
+    def test_truncates_sha512_to_20_bytes(self):
+        data = b"spider"
+        assert hashing.digest(data) == hashlib.sha512(data).digest()[:20]
+
+    def test_digest_size_constant(self):
+        assert len(hashing.digest(b"")) == hashing.DIGEST_SIZE == 20
+
+    def test_deterministic(self):
+        assert hashing.digest(b"abc") == hashing.digest(b"abc")
+
+    def test_different_inputs_differ(self):
+        assert hashing.digest(b"a") != hashing.digest(b"b")
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeError):
+            hashing.digest("not bytes")
+
+    def test_accepts_bytearray_and_memoryview(self):
+        expected = hashing.digest(b"xyz")
+        assert hashing.digest(bytearray(b"xyz")) == expected
+        assert hashing.digest(memoryview(b"xyz")) == expected
+
+
+class TestDigestConcat:
+    def test_matches_manual_concatenation(self):
+        a, b = hashing.digest(b"a"), hashing.digest(b"b")
+        assert hashing.digest_concat(a, b) == hashing.digest(a + b)
+
+    def test_empty_is_hash_of_empty(self):
+        assert hashing.digest_concat() == hashing.digest(b"")
+
+
+class TestDigestFields:
+    def test_length_prefix_prevents_ambiguity(self):
+        # Without framing these two would hash identically.
+        assert hashing.digest_fields(b"ab", b"c") != \
+            hashing.digest_fields(b"a", b"bc")
+
+    def test_rejects_non_bytes_field(self):
+        with pytest.raises(TypeError):
+            hashing.digest_fields(b"ok", 42)
+
+    def test_field_count_matters(self):
+        assert hashing.digest_fields(b"") != hashing.digest_fields(b"", b"")
+
+
+class TestDigestIter:
+    def test_matches_concat(self):
+        parts = [b"one", b"two", b"three"]
+        assert hashing.digest_iter(parts) == hashing.digest(b"".join(parts))
+
+
+class TestBitCommitment:
+    def test_commits_to_bit_and_blinding(self):
+        x = bytes(20)
+        assert hashing.bit_commitment(0, x) == hashing.digest(b"\x00" + x)
+        assert hashing.bit_commitment(1, x) == hashing.digest(b"\x01" + x)
+
+    def test_bits_distinguishable_given_blinding(self):
+        x = b"\x07" * 20
+        assert hashing.bit_commitment(0, x) != hashing.bit_commitment(1, x)
+
+    def test_rejects_invalid_bit(self):
+        with pytest.raises(ValueError):
+            hashing.bit_commitment(2, bytes(20))
+
+    def test_rejects_wrong_blinding_length(self):
+        with pytest.raises(ValueError):
+            hashing.bit_commitment(0, bytes(19))
+        with pytest.raises(ValueError):
+            hashing.bit_commitment(0, bytes(21))

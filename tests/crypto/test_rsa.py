@@ -1,0 +1,138 @@
+"""Unit and property tests for the from-scratch RSA implementation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import rsa
+
+# Small keys keep the suite fast; one test exercises the paper's 1024 bits.
+TEST_BITS = 512
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return rsa.generate_keypair(bits=TEST_BITS, seed=7)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        rng = random.Random(0)
+        for p in [2, 3, 5, 7, 97, 101, 7919]:
+            assert rsa.is_probable_prime(p, rng)
+
+    def test_small_composites(self):
+        rng = random.Random(0)
+        for n in [0, 1, 4, 9, 91, 561, 7917]:
+            assert not rsa.is_probable_prime(n, rng)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that Miller-Rabin must still catch.
+        rng = random.Random(1)
+        for n in [561, 1105, 1729, 2465, 2821, 6601, 8911]:
+            assert not rsa.is_probable_prime(n, rng)
+
+    def test_generate_prime_has_exact_bits(self):
+        rng = random.Random(2)
+        for bits in [16, 64, 128]:
+            p = rsa.generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert rsa.is_probable_prime(p, rng)
+
+    def test_generate_prime_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            rsa.generate_prime(4, random.Random(0))
+
+
+class TestKeyGeneration:
+    def test_deterministic_with_seed(self):
+        k1 = rsa.generate_keypair(bits=TEST_BITS, seed=42)
+        k2 = rsa.generate_keypair(bits=TEST_BITS, seed=42)
+        assert k1.n == k2.n and k1.d == k2.d
+
+    def test_different_seeds_differ(self):
+        k1 = rsa.generate_keypair(bits=TEST_BITS, seed=1)
+        k2 = rsa.generate_keypair(bits=TEST_BITS, seed=2)
+        assert k1.n != k2.n
+
+    def test_modulus_bit_length(self, keypair):
+        assert keypair.n.bit_length() == TEST_BITS
+
+    def test_crt_components_consistent(self, keypair):
+        k = keypair
+        assert k.p * k.q == k.n
+        assert (k.e * k.d) % ((k.p - 1) * (k.q - 1)) == 1
+        assert k.d_p == k.d % (k.p - 1)
+        assert k.d_q == k.d % (k.q - 1)
+        assert (k.q_inv * k.q) % k.p == 1
+
+    def test_rejects_undersized_modulus(self):
+        with pytest.raises(ValueError):
+            rsa.generate_keypair(bits=128, seed=0)
+
+    def test_paper_scale_1024_bits(self):
+        key = rsa.generate_keypair(bits=1024, seed=99)
+        assert key.n.bit_length() == 1024
+        msg = b"RSA-1024 as in Section 7.1"
+        assert rsa.verify(key.public_key, msg, rsa.sign(key, msg))
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        msg = b"announce 8.8.8.0/24"
+        sig = rsa.sign(keypair, msg)
+        assert rsa.verify(keypair.public_key, msg, sig)
+
+    def test_signature_length_equals_modulus(self, keypair):
+        assert len(rsa.sign(keypair, b"m")) == keypair.size_bytes
+
+    def test_wrong_message_rejected(self, keypair):
+        sig = rsa.sign(keypair, b"m1")
+        assert not rsa.verify(keypair.public_key, b"m2", sig)
+
+    def test_tampered_signature_rejected(self, keypair):
+        sig = bytearray(rsa.sign(keypair, b"m"))
+        sig[0] ^= 0x01
+        assert not rsa.verify(keypair.public_key, b"m", bytes(sig))
+
+    def test_wrong_key_rejected(self, keypair):
+        other = rsa.generate_keypair(bits=TEST_BITS, seed=8)
+        sig = rsa.sign(keypair, b"m")
+        assert not rsa.verify(other.public_key, b"m", sig)
+
+    def test_wrong_length_signature_rejected(self, keypair):
+        assert not rsa.verify(keypair.public_key, b"m", b"short")
+
+    def test_signature_ge_modulus_rejected(self, keypair):
+        too_big = (keypair.n).to_bytes(keypair.size_bytes, "big")
+        assert not rsa.verify(keypair.public_key, b"m", too_big)
+
+    def test_signing_is_deterministic(self, keypair):
+        assert rsa.sign(keypair, b"m") == rsa.sign(keypair, b"m")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_roundtrip_property(self, msg):
+        key = rsa.generate_keypair(bits=TEST_BITS, seed=7)
+        assert rsa.verify(key.public_key, msg, rsa.sign(key, msg))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=64), st.binary(max_size=64))
+    def test_cross_message_rejection_property(self, m1, m2):
+        key = rsa.generate_keypair(bits=TEST_BITS, seed=7)
+        sig = rsa.sign(key, m1)
+        assert rsa.verify(key.public_key, m2, sig) == (m1 == m2)
+
+
+class TestPublicKey:
+    def test_fingerprint_stable(self, keypair):
+        pk = keypair.public_key
+        assert pk.fingerprint() == pk.fingerprint()
+        assert len(pk.fingerprint()) == 20
+
+    def test_fingerprints_distinguish_keys(self, keypair):
+        other = rsa.generate_keypair(bits=TEST_BITS, seed=11)
+        assert keypair.public_key.fingerprint() != \
+            other.public_key.fingerprint()

@@ -1,0 +1,238 @@
+"""Tests for MTT labeling, reconstruction, and bit proofs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.prefix import Prefix
+from repro.crypto.rc4 import Rc4Csprng
+from repro.mtt.labeling import label_tree, parallel_labeling_report
+from repro.mtt.proofs import MttBitProof, PathStep, ProofError, \
+    generate_proof, verify_proof
+from repro.mtt.tree import Mtt
+
+
+def build_labeled(entries, seed=b"seed"):
+    tree = Mtt.build(entries)
+    report = label_tree(tree, Rc4Csprng(seed))
+    return tree, report
+
+
+BASIC = {
+    Prefix.parse("0.0.0.0/2"): [1, 0, 1],
+    Prefix.parse("160.0.0.0/3"): [0, 1, 0],
+    Prefix.parse("128.0.0.0/1"): [1, 1, 0],
+}
+
+
+class TestLabeling:
+    def test_root_label_is_20_bytes(self):
+        _, report = build_labeled(BASIC)
+        assert len(report.root_label) == 20
+
+    def test_deterministic_for_same_seed(self):
+        _, a = build_labeled(BASIC, seed=b"s1")
+        _, b = build_labeled(BASIC, seed=b"s1")
+        assert a.root_label == b.root_label
+
+    def test_fresh_seed_changes_root(self):
+        """Section 5.3: bitstrings must be replaced for each commitment,
+        otherwise neighbors could link identical subtrees across rounds."""
+        _, a = build_labeled(BASIC, seed=b"s1")
+        _, b = build_labeled(BASIC, seed=b"s2")
+        assert a.root_label != b.root_label
+
+    def test_bit_flip_changes_root(self):
+        changed = dict(BASIC)
+        changed[Prefix.parse("0.0.0.0/2")] = [0, 0, 1]
+        _, a = build_labeled(BASIC)
+        _, b = build_labeled(changed)
+        assert a.root_label != b.root_label
+
+    def test_hash_count_matches_census(self):
+        tree, report = build_labeled(BASIC)
+        census = tree.census()
+        assert report.hash_count == census.bit + census.prefix + \
+            census.inner
+
+    def test_reconstruction_from_seed(self):
+        """The §6.5 replay property: rebuilding the same tree with the
+        stored seed reproduces the identical commitment."""
+        tree1, report1 = build_labeled(BASIC, seed=b"commit-42")
+        tree2, report2 = build_labeled(BASIC, seed=b"commit-42")
+        proof1 = generate_proof(tree1, Prefix.parse("160.0.0.0/3"), 1)
+        proof2 = generate_proof(tree2, Prefix.parse("160.0.0.0/3"), 1)
+        assert report1.root_label == report2.root_label
+        assert proof1 == proof2
+
+    def test_unlabeled_tree_raises_on_proof(self):
+        tree = Mtt.build(BASIC)
+        with pytest.raises(ProofError):
+            generate_proof(tree, Prefix.parse("0.0.0.0/2"), 0)
+
+
+class TestParallelLabeling:
+    def make_wide_entries(self, n=64, k=4):
+        return {Prefix.parse(f"{a}.{b}.0.0/16"): [1] * k
+                for a in range(0, 256, 256 // (n // 16 or 1))
+                for b in range(16)}
+
+    def test_same_root_as_sequential(self):
+        entries = self.make_wide_entries()
+        tree1 = Mtt.build(entries)
+        seq = label_tree(tree1, Rc4Csprng(b"s"))
+        tree2 = Mtt.build(entries)
+        par = parallel_labeling_report(tree2, Rc4Csprng(b"s"), workers=3)
+        assert par.root_label == seq.root_label
+
+    def test_makespan_not_longer_than_sequential(self):
+        tree = Mtt.build(self.make_wide_entries())
+        report = parallel_labeling_report(tree, Rc4Csprng(b"s"), workers=3)
+        assert report.makespan_seconds <= report.sequential_seconds * 1.05
+
+    def test_speedup_bounded_by_worker_count(self):
+        tree = Mtt.build(self.make_wide_entries())
+        report = parallel_labeling_report(tree, Rc4Csprng(b"s"), workers=3)
+        assert report.speedup <= 3.6  # allow measurement noise on top
+
+    def test_single_worker_equals_sequential_shape(self):
+        tree = Mtt.build(self.make_wide_entries())
+        report = parallel_labeling_report(tree, Rc4Csprng(b"s"), workers=1)
+        assert report.speedup <= 1.1
+
+    def test_rejects_zero_workers(self):
+        tree = Mtt.build(BASIC)
+        with pytest.raises(ValueError):
+            parallel_labeling_report(tree, Rc4Csprng(b"s"), workers=0)
+
+
+class TestProofs:
+    def test_all_bits_provable(self):
+        tree, report = build_labeled(BASIC)
+        for prefix, bits in BASIC.items():
+            for class_index, bit in enumerate(bits):
+                proof = generate_proof(tree, prefix, class_index)
+                assert verify_proof(report.root_label, proof,
+                                    expected_k=3) == bit
+
+    def test_proof_for_absent_prefix_rejected(self):
+        tree, _ = build_labeled(BASIC)
+        with pytest.raises(ProofError):
+            generate_proof(tree, Prefix.parse("10.0.0.0/8"), 0)
+
+    def test_proof_for_out_of_range_class_rejected(self):
+        tree, _ = build_labeled(BASIC)
+        with pytest.raises(ProofError):
+            generate_proof(tree, Prefix.parse("0.0.0.0/2"), 7)
+
+    def test_flipped_bit_rejected(self):
+        tree, report = build_labeled(BASIC)
+        proof = generate_proof(tree, Prefix.parse("0.0.0.0/2"), 0)
+        forged = MttBitProof(prefix=proof.prefix,
+                             class_index=proof.class_index,
+                             bit=1 - proof.bit, blinding=proof.blinding,
+                             steps=proof.steps)
+        assert verify_proof(report.root_label, forged) is None
+
+    def test_wrong_root_rejected(self):
+        tree, _ = build_labeled(BASIC, seed=b"s1")
+        _, other = build_labeled(BASIC, seed=b"s2")
+        proof = generate_proof(tree, Prefix.parse("0.0.0.0/2"), 0)
+        assert verify_proof(other.root_label, proof) is None
+
+    def test_proof_not_replayable_for_other_prefix(self):
+        tree, report = build_labeled(BASIC)
+        proof = generate_proof(tree, Prefix.parse("0.0.0.0/2"), 0)
+        forged = MttBitProof(prefix=Prefix.parse("128.0.0.0/2"),
+                             class_index=proof.class_index,
+                             bit=proof.bit, blinding=proof.blinding,
+                             steps=proof.steps)
+        assert verify_proof(report.root_label, forged) is None
+
+    def test_proof_not_replayable_for_other_class(self):
+        tree, report = build_labeled(BASIC)
+        proof = generate_proof(tree, Prefix.parse("0.0.0.0/2"), 0)
+        forged = MttBitProof(prefix=proof.prefix, class_index=1,
+                             bit=proof.bit, blinding=proof.blinding,
+                             steps=proof.steps)
+        assert verify_proof(report.root_label, forged) is None
+
+    def test_wrong_k_rejected(self):
+        tree, report = build_labeled(BASIC)
+        proof = generate_proof(tree, Prefix.parse("0.0.0.0/2"), 0)
+        assert verify_proof(report.root_label, proof,
+                            expected_k=5) is None
+
+    def test_truncated_path_rejected(self):
+        tree, report = build_labeled(BASIC)
+        proof = generate_proof(tree, Prefix.parse("160.0.0.0/3"), 0)
+        forged = MttBitProof(prefix=proof.prefix,
+                             class_index=proof.class_index,
+                             bit=proof.bit, blinding=proof.blinding,
+                             steps=proof.steps[:-1])
+        assert verify_proof(report.root_label, forged) is None
+
+    def test_proof_size_scales_with_k(self):
+        """§7.3: each bit proof with k classes contributes ≈ 20·k bytes."""
+        sizes = {}
+        for k in (2, 10, 50):
+            entries = {p: [1] * k for p in BASIC}
+            tree, _ = build_labeled(entries)
+            proof = generate_proof(tree, Prefix.parse("0.0.0.0/2"), 0)
+            sizes[k] = proof.wire_size()
+        assert sizes[50] - sizes[10] == pytest.approx(40 * 20, abs=20)
+        assert sizes[10] > sizes[2]
+
+    def test_proof_reveals_no_other_prefix(self):
+        """Privacy: proofs from trees differing in *other* prefixes are
+        structurally identical in size and shape for the same prefix."""
+        small = {Prefix.parse("128.0.0.0/1"): [1, 0]}
+        big = dict(small)
+        big[Prefix.parse("64.0.0.0/2")] = [1, 1]  # sibling subtree
+        tree_a, _ = build_labeled(small, seed=b"x")
+        tree_b, _ = build_labeled(big, seed=b"y")
+        proof_a = generate_proof(tree_a, Prefix.parse("128.0.0.0/1"), 0)
+        proof_b = generate_proof(tree_b, Prefix.parse("128.0.0.0/1"), 0)
+        assert len(proof_a.steps) == len(proof_b.steps)
+        assert proof_a.wire_size() == proof_b.wire_size()
+        assert [len(s.child_labels) for s in proof_a.steps] == \
+            [len(s.child_labels) for s in proof_b.steps]
+
+
+@st.composite
+def random_entries(draw):
+    n = draw(st.integers(1, 12))
+    k = draw(st.integers(1, 6))
+    prefixes = draw(st.sets(
+        st.lists(st.integers(0, 1), min_size=0, max_size=10).map(
+            lambda bits: Prefix.from_bits(tuple(bits))),
+        min_size=1, max_size=n))
+    return {
+        p: [draw(st.integers(0, 1)) for _ in range(k)]
+        for p in prefixes
+    }
+
+
+class TestProofProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(random_entries(), st.data())
+    def test_roundtrip_property(self, entries, data):
+        tree, report = build_labeled(entries)
+        prefix = data.draw(st.sampled_from(sorted(entries)))
+        k = len(entries[prefix])
+        class_index = data.draw(st.integers(0, k - 1))
+        proof = generate_proof(tree, prefix, class_index)
+        assert verify_proof(report.root_label, proof, expected_k=k) == \
+            entries[prefix][class_index]
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_entries(), st.data())
+    def test_binding_property(self, entries, data):
+        tree, report = build_labeled(entries)
+        prefix = data.draw(st.sampled_from(sorted(entries)))
+        class_index = data.draw(st.integers(0, len(entries[prefix]) - 1))
+        proof = generate_proof(tree, prefix, class_index)
+        forged = MttBitProof(prefix=prefix, class_index=class_index,
+                             bit=1 - proof.bit, blinding=proof.blinding,
+                             steps=proof.steps)
+        assert verify_proof(report.root_label, forged) is None

@@ -1,0 +1,120 @@
+"""Property tests: BGP convergence on random Gao-Rexford topologies.
+
+Gao-Rexford configurations are guaranteed to converge; these tests
+exercise the speaker/decision/policy stack on seeded random
+customer-provider hierarchies and check safety properties that must hold
+at any fixed point.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.policy import Relation
+from repro.bgp.prefix import Prefix
+from repro.netsim.network import Network
+from repro.netsim.topology import Topology, caida_like_topology
+
+P = Prefix.parse("203.0.113.0/24")
+
+
+def converged_network(seed, n_ases=25):
+    topology = caida_like_topology(n_ases=n_ases, seed=seed)
+    network = Network(topology)
+    return topology, network
+
+
+@st.composite
+def seeds(draw):
+    return draw(st.integers(0, 50))
+
+
+class TestConvergence:
+    @settings(max_examples=10, deadline=None)
+    @given(seeds(), st.integers(4, 25))
+    def test_origination_converges_and_reaches_all(self, seed,
+                                                   origin_index):
+        topology, network = converged_network(seed)
+        origin = topology.ases[origin_index % len(topology.ases)]
+        network.originate(origin, P)
+        network.settle()
+        # Customer-tree topologies are fully connected through the core,
+        # so every AS ends up with a route.
+        for asn in topology.ases:
+            assert network.speaker(asn).best(P) is not None
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds())
+    def test_paths_loop_free_at_fixed_point(self, seed):
+        topology, network = converged_network(seed)
+        origin = topology.ases[-1]
+        network.originate(origin, P)
+        network.settle()
+        for asn in topology.ases:
+            path = network.speaker(asn).best(P).as_path
+            assert len(set(path)) == len(path)
+            assert asn not in path or path == (asn,)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds())
+    def test_paths_follow_topology_edges(self, seed):
+        topology, network = converged_network(seed)
+        origin = topology.ases[0]
+        network.originate(origin, P)
+        network.settle()
+        edges = topology.edges
+        for asn in topology.ases:
+            route = network.speaker(asn).best(P)
+            hops = (asn,) + route.as_path
+            for a, b in zip(hops, hops[1:]):
+                if a == b:
+                    continue
+                assert frozenset((a, b)) in edges, \
+                    f"path {hops} uses a non-edge {a}-{b}"
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds())
+    def test_valley_free_at_fixed_point(self, seed):
+        topology, network = converged_network(seed)
+        origin = topology.ases[len(topology.ases) // 2]
+        network.originate(origin, P)
+        network.settle()
+        for asn in topology.ases:
+            route = network.speaker(asn).best(P)
+            hops = (asn,) + route.as_path
+            if hops[0] == hops[1]:
+                hops = hops[1:]
+            went_down = False
+            for a, b in zip(hops, hops[1:]):
+                rel = topology.relations[(a, b)]
+                if rel is Relation.CUSTOMER:
+                    went_down = True
+                elif went_down and rel is Relation.PROVIDER:
+                    pytest.fail(f"valley in {hops} at {a}->{b}")
+
+    @settings(max_examples=8, deadline=None)
+    @given(seeds())
+    def test_withdrawal_cleans_up_everywhere(self, seed):
+        topology, network = converged_network(seed, n_ases=15)
+        origin = topology.ases[-1]
+        network.originate(origin, P)
+        network.settle()
+        network.withdraw_origin(origin, P)
+        network.settle()
+        for asn in topology.ases:
+            assert network.speaker(asn).best(P) is None
+
+    @settings(max_examples=8, deadline=None)
+    @given(seeds())
+    def test_deterministic_fixed_point(self, seed):
+        """Same seed, same topology, same events → identical outcome."""
+        results = []
+        for _ in range(2):
+            topology, network = converged_network(seed, n_ases=15)
+            network.originate(topology.ases[0], P)
+            network.settle()
+            results.append({
+                asn: network.speaker(asn).best(P).as_path
+                for asn in topology.ases
+            })
+        assert results[0] == results[1]

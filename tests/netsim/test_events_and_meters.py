@@ -1,0 +1,194 @@
+"""Tests for the event loop, clocks, and the measurement instruments."""
+
+import pytest
+
+from repro.netsim.clock import SimClock, SkewedClock
+from repro.netsim.events import Simulator
+from repro.netsim.metering import CpuMeter, StorageMeter, TrafficMeter
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_cannot_rewind(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_skewed_view(self):
+        base = SimClock(100.0)
+        skewed = SkewedClock(base, skew=-2.5)
+        assert skewed.now == 97.5
+        base.advance_to(200.0)
+        assert skewed.now == 197.5
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(3.0, lambda: log.append("c"))
+        sim.at(1.0, lambda: log.append("a"))
+        sim.at(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        sim = Simulator()
+        log = []
+        for name in "abc":
+            sim.at(1.0, lambda n=name: log.append(n))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_after_is_relative(self):
+        sim = Simulator(start=10.0)
+        fired = []
+        sim.after(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [15.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator(start=10.0)
+        with pytest.raises(ValueError):
+            sim.at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.after(-1.0, lambda: None)
+
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append(1))
+        sim.at(2.0, lambda: log.append(2))
+        sim.run_until(1.5)
+        assert log == [1]
+        assert sim.now == 1.5
+        assert sim.pending == 1
+
+    def test_every_fires_periodically(self):
+        sim = Simulator()
+        fired = []
+        sim.every(60.0, lambda: fired.append(sim.now), until=300.0)
+        sim.run()
+        assert fired == [60.0, 120.0, 180.0, 240.0, 300.0]
+
+    def test_every_with_custom_start(self):
+        sim = Simulator()
+        fired = []
+        sim.every(10.0, lambda: fired.append(sim.now), until=35.0,
+                  start=5.0)
+        sim.run()
+        assert fired == [5.0, 15.0, 25.0, 35.0]
+
+    def test_every_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            Simulator().every(0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.after(1.0, lambda: log.append(("inner", sim.now)))
+
+        sim.at(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.after(1.0, forever)
+
+        sim.after(1.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.at(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.processed == 5
+
+
+class TestTrafficMeter:
+    def test_accumulates_by_category(self):
+        meter = TrafficMeter()
+        meter.record("bgp", 100, at=0.0)
+        meter.record("bgp", 50, at=1.0)
+        meter.record("spider", 10, at=1.0)
+        assert meter.total("bgp") == 150
+        assert meter.total() == 160
+
+    def test_rate_bps(self):
+        meter = TrafficMeter()
+        meter.record("bgp", 1000, at=0.0)
+        meter.record("bgp", 1000, at=10.0)
+        assert meter.rate_bps("bgp", 0.0, 10.0) == pytest.approx(1600.0)
+
+    def test_rate_window_filter(self):
+        meter = TrafficMeter()
+        meter.record("bgp", 1000, at=0.0)
+        meter.record("bgp", 9000, at=100.0)
+        assert meter.rate_bps("bgp", 0.0, 10.0) == pytest.approx(800.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TrafficMeter().record("bgp", -1)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            TrafficMeter().rate_bps("bgp", 5.0, 5.0)
+
+
+class TestCpuMeter:
+    def test_section_accumulates(self):
+        meter = CpuMeter()
+        with meter.section("signing"):
+            sum(range(1000))
+        with meter.section("signing"):
+            sum(range(1000))
+        assert meter.seconds_by_section["signing"] > 0
+        assert meter.calls_by_section["signing"] == 2
+
+    def test_add_external_measurement(self):
+        meter = CpuMeter()
+        meter.add("mtt", 13.4)
+        assert meter.total() == pytest.approx(13.4)
+
+    def test_share(self):
+        meter = CpuMeter()
+        meter.add("a", 1.0)
+        meter.add("b", 3.0)
+        assert meter.share("b") == pytest.approx(0.75)
+        assert CpuMeter().share("x") == 0.0
+
+
+class TestStorageMeter:
+    def test_accumulates(self):
+        meter = StorageMeter()
+        meter.record("log", 100)
+        meter.record("log", 50)
+        meter.record("snapshot", 1000)
+        assert meter.total("log") == 150
+        assert meter.total() == 1150
+
+    def test_projection(self):
+        meter = StorageMeter()
+        meter.record("log", 232_300)  # ≈ the paper's per-minute log rate
+        one_year = meter.projected("log", measured_window=60.0,
+                                   target_window=365 * 24 * 3600)
+        assert one_year == pytest.approx(232_300 * 525_600, rel=1e-6)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            StorageMeter().projected("log", 0, 10)

@@ -1,0 +1,120 @@
+"""Property tests: log replay reproduces committed state under random
+workloads, and SPIDeR stays consistent through session churn."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.prefix import Prefix
+from repro.netsim.network import Network, TraceEvent
+from repro.netsim.topology import FOCUS_AS, INJECTION_AS, figure5_topology
+from repro.spider.config import SpiderConfig
+from repro.spider.node import SpiderDeployment, evaluation_scheme
+
+FEED = 65000
+
+PREFIX_POOL = [Prefix.parse(f"10.{i}.0.0/16") for i in range(6)]
+
+
+@st.composite
+def random_trace(draw):
+    """A random announce/withdraw interleaving over a small prefix pool."""
+    n = draw(st.integers(1, 15))
+    events = []
+    live = set()
+    t = 1.0
+    for _ in range(n):
+        t += draw(st.floats(0.2, 2.0))
+        prefix = draw(st.sampled_from(PREFIX_POOL))
+        if prefix in live and draw(st.booleans()):
+            events.append(TraceEvent(time=t, prefix=prefix, path=None))
+            live.discard(prefix)
+        else:
+            tail = draw(st.lists(st.integers(4000, 4020), min_size=0,
+                                 max_size=3, unique=True))
+            events.append(TraceEvent(time=t, prefix=prefix,
+                                     path=(FEED, *tail)))
+            live.add(prefix)
+    return events
+
+
+def build(events, commit_times=()):
+    network = Network(figure5_topology())
+    deployment = SpiderDeployment(network, scheme=evaluation_scheme(6),
+                                  config=SpiderConfig())
+    network.attach_feed(INJECTION_AS, feed_asn=FEED)
+    network.schedule_trace(FEED, events)
+    recorder = deployment.node(FOCUS_AS).recorder
+    for t in commit_times:
+        network.sim.at(t, lambda: recorder.make_commitment())
+    network.settle()
+    return network, deployment
+
+
+class TestReplayProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(random_trace())
+    def test_every_commitment_reconstructible(self, events):
+        """reconstruct() internally asserts the replayed MTT root equals
+        the committed root; a mismatch raises."""
+        end = max(e.time for e in events) + 1.0
+        commit_times = [end / 3, 2 * end / 3, end]
+        network, deployment = build(events, commit_times)
+        node = deployment.node(FOCUS_AS)
+        for record in node.recorder.commitments:
+            reconstruction = node.proofgen.reconstruct(
+                record.commit_time)
+            assert reconstruction.root == record.root
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_trace())
+    def test_commitments_deterministic_across_runs(self, events):
+        roots = []
+        end = max(e.time for e in events) + 1.0
+        for _ in range(2):
+            network, deployment = build(events, [end])
+            node = deployment.node(FOCUS_AS)
+            roots.append([r.root for r in node.recorder.commitments])
+        assert roots[0] == roots[1]
+
+    @settings(max_examples=8, deadline=None)
+    @given(random_trace())
+    def test_verification_clean_under_random_churn(self, events):
+        end = max(e.time for e in events) + 1.0
+        network, deployment = build(events, [])
+        deployment.commit_now(FOCUS_AS)
+        outcomes = deployment.verify(FOCUS_AS)
+        for outcome in outcomes:
+            assert outcome.report.ok, \
+                [str(v) for v in outcome.report.verdicts]
+
+    @settings(max_examples=8, deadline=None)
+    @given(random_trace())
+    def test_log_chain_survives_random_workload(self, events):
+        network, deployment = build(events, [])
+        for node in deployment.nodes.values():
+            node.recorder.log.verify_chain()
+            assert not node.recorder.alarms
+
+
+class TestSessionChurn:
+    def test_session_teardown_withdraws_and_stays_consistent(self):
+        network, deployment = build(
+            [TraceEvent(time=1.0, prefix=PREFIX_POOL[0],
+                        path=(FEED, 4000))])
+        network.originate(9, PREFIX_POOL[1])
+        network.settle()
+        # AS 5 loses its session to AS 7 (which carried AS 9's prefix).
+        speaker5 = network.speaker(FOCUS_AS)
+        for update in speaker5.remove_neighbor(7):
+            network.send(update)
+        network.settle()
+        assert speaker5.best(PREFIX_POOL[1]) is None
+        # SPIDeR commitments and verification by the remaining
+        # neighbors still work.
+        deployment.commit_now(FOCUS_AS)
+        outcomes = deployment.verify(FOCUS_AS,
+                                     neighbors=[2, 4, 6, 8])
+        for outcome in outcomes:
+            assert outcome.report.ok, \
+                [str(v) for v in outcome.report.verdicts]

@@ -1,0 +1,63 @@
+"""Tests for the Figure 2 survey dataset and synthetic population."""
+
+from repro.bgp.communities import ActionKind
+from repro.traces.communities_data import FIGURE2_COUNTS, SURVEY_SIZE, \
+    figure2_rows, survey_counts, synthetic_survey
+
+
+class TestFigure2Reference:
+    def test_row_values_match_paper(self):
+        rows = dict(figure2_rows())
+        assert rows["Set local preference"] == 57
+        assert rows["Selective export by neighbor group"] == 48
+        assert rows["Selective export by specific AS"] == 45
+        assert rows["Information about route origin"] == 45
+
+    def test_row_order_matches_paper(self):
+        labels = [label for label, _ in figure2_rows()]
+        assert labels[0] == "Set local preference"
+        assert labels[-1] == "Information about route origin"
+
+    def test_percentages_match_section_3_2(self):
+        # §3.2 quotes 64% for local-pref, 54% group export, 51% AS export.
+        assert round(57 / SURVEY_SIZE * 100) == 65 or \
+            int(57 / SURVEY_SIZE * 100) == 64
+        assert round(48 / SURVEY_SIZE * 100) == 55 or \
+            int(48 / SURVEY_SIZE * 100) == 54
+        assert int(45 / SURVEY_SIZE * 100) == 51
+
+
+class TestSyntheticSurvey:
+    def test_marginals_match_figure2(self):
+        menus = synthetic_survey(seed=1)
+        counts = survey_counts(menus)
+        for kind, expected in FIGURE2_COUNTS.items():
+            assert counts[kind] == expected
+
+    def test_population_size(self):
+        assert len(synthetic_survey(seed=1)) == SURVEY_SIZE
+
+    def test_deterministic(self):
+        a = survey_counts(synthetic_survey(seed=2))
+        b = survey_counts(synthetic_survey(seed=2))
+        assert a == b
+
+    def test_scaled_population(self):
+        menus = synthetic_survey(seed=1, size=44)
+        counts = survey_counts(menus)
+        # Half-size survey: counts scale proportionally (rounded).
+        assert counts[ActionKind.SET_LOCAL_PREF] == round(57 * 44 / 88)
+
+    def test_tier_distribution_mode_three_max_twelve(self):
+        menus = synthetic_survey(seed=3)
+        tier_counts = [m.local_pref_tier_count() for m in menus
+                       if m.supports(ActionKind.SET_LOCAL_PREF)]
+        assert max(tier_counts) <= 12
+        mode = max(set(tier_counts), key=tier_counts.count)
+        assert mode == 3
+
+    def test_menus_have_valid_actions(self):
+        from repro.bgp.communities import CommunityAction
+        for menu in synthetic_survey(seed=4):
+            for action in menu.actions:
+                assert isinstance(action, CommunityAction)

@@ -1,0 +1,135 @@
+"""Tests for the synthetic workload and trace generators."""
+
+import pytest
+
+from repro.traces.routeviews import TraceConfig, synthetic_trace
+from repro.traces.workload import generate_path, generate_prefixes, \
+    generate_rib_snapshot, length_histogram
+
+import random
+
+
+class TestGeneratePrefixes:
+    def test_count_and_uniqueness(self):
+        prefixes = generate_prefixes(500, seed=1)
+        assert len(prefixes) == 500
+        assert len(set(prefixes)) == 500
+
+    def test_deterministic(self):
+        assert generate_prefixes(100, seed=7) == \
+            generate_prefixes(100, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert generate_prefixes(100, seed=1) != \
+            generate_prefixes(100, seed=2)
+
+    def test_dfz_like_length_mix(self):
+        prefixes = generate_prefixes(3000, seed=1)
+        histogram = length_histogram(prefixes)
+        # /24 dominates, like any real DFZ table.
+        assert histogram[24] == max(histogram.values())
+        assert histogram[24] / len(prefixes) > 0.3
+        # Lengths stay in the realistic 8..24 band.
+        assert min(histogram) >= 8 and max(histogram) <= 24
+
+    def test_unicast_space_only(self):
+        for prefix in generate_prefixes(500, seed=3):
+            first_octet = prefix.address >> 24
+            assert 0 < first_octet <= 223
+
+    def test_zero_count(self):
+        assert generate_prefixes(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            generate_prefixes(-1)
+
+
+class TestGeneratePath:
+    def test_starts_at_first_hop(self):
+        rng = random.Random(0)
+        path = generate_path(rng, list(range(100, 200)), first_hop=65000)
+        assert path[0] == 65000
+
+    def test_loop_free(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            path = generate_path(rng, list(range(100, 130)),
+                                 first_hop=65000)
+            assert len(set(path)) == len(path)
+
+    def test_realistic_lengths(self):
+        rng = random.Random(0)
+        lengths = [len(generate_path(rng, list(range(100, 300)), 65000))
+                   for _ in range(500)]
+        mean = sum(lengths) / len(lengths)
+        assert 2.5 <= mean <= 5.5
+        assert max(lengths) <= 8
+
+
+class TestRibSnapshot:
+    def test_entries_have_feed_first_hop(self):
+        snapshot = generate_rib_snapshot(50, seed=0, feed_asn=65000)
+        assert len(snapshot) == 50
+        assert all(e.path[0] == 65000 for e in snapshot)
+
+    def test_deterministic(self):
+        a = generate_rib_snapshot(50, seed=5)
+        b = generate_rib_snapshot(50, seed=5)
+        assert a == b
+
+
+class TestSyntheticTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return synthetic_trace(TraceConfig(scale=0.003, seed=11))
+
+    def test_scaled_counts(self, trace):
+        config = trace.config
+        assert len(trace.snapshot) == config.n_prefixes
+        assert trace.message_count() == config.n_messages
+
+    def test_phases_ordered(self, trace):
+        assert all(0 < e.time <= trace.setup_end
+                   for e in trace.setup_events)
+        assert all(trace.setup_end <= e.time <= trace.replay_end + 1e-9
+                   for e in trace.replay_events)
+
+    def test_replay_sorted_by_time(self, trace):
+        times = [e.time for e in trace.replay_events]
+        assert times == sorted(times)
+
+    def test_setup_announces_every_snapshot_prefix(self, trace):
+        setup_prefixes = {e.prefix for e in trace.setup_events}
+        assert setup_prefixes == {e.prefix for e in trace.snapshot}
+        assert all(not e.is_withdrawal for e in trace.setup_events)
+
+    def test_replay_contains_both_kinds(self, trace):
+        withdrawals = sum(1 for e in trace.replay_events
+                          if e.is_withdrawal)
+        assert 0 < withdrawals < trace.message_count()
+
+    def test_replay_churn_is_concentrated(self, trace):
+        touched = {e.prefix for e in trace.replay_events}
+        assert len(touched) <= len(trace.snapshot) * \
+            trace.config.hot_fraction * 1.5
+
+    def test_no_double_withdrawals(self, trace):
+        down = set()
+        for event in trace.replay_events:
+            if event.is_withdrawal:
+                assert event.prefix not in down
+                down.add(event.prefix)
+            else:
+                down.discard(event.prefix)
+
+    def test_deterministic(self):
+        config = TraceConfig(scale=0.002, seed=9)
+        assert synthetic_trace(config).replay_events == \
+            synthetic_trace(config).replay_events
+
+    def test_bursty_arrivals(self, trace):
+        """Many events share identical timestamps (burst structure)."""
+        times = [e.time for e in trace.replay_events]
+        distinct = len(set(times))
+        assert distinct < len(times) * 0.8
