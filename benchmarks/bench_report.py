@@ -1,0 +1,131 @@
+"""Machine-readable commitment-path benchmark.
+
+Measures the hot path this repo optimizes — MTT labeling and
+reconstruction — and writes ``BENCH_commit.json`` at the repo root so
+regressions are diffable:
+
+* serial labeling (cold = first round, building the flattened schedule;
+  steady = schedule cached, the per-commitment-round cost);
+* per-node labeling cost in nanoseconds;
+* real worker-pool wall clock at c ∈ {1, 2, 4, 8}
+  (:func:`repro.mtt.labeling.label_tree_parallel`); on a box with a
+  single core the pool cannot beat serial — ``cores`` is recorded so the
+  numbers can be interpreted;
+* proof-generator reconstruction cache hit rate for a batch of
+  verifications against one commitment.
+
+The ``seed_baseline`` block is the measurement taken on this machine at
+the pre-optimization commit (4cfa4fc) with the same workload, kept
+hardcoded for before/after comparison.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_report.py``.
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.crypto.rc4 import Rc4Csprng  # noqa: E402
+from repro.harness.experiments import run_replay_experiment  # noqa: E402
+from repro.mtt.labeling import label_tree, label_tree_parallel  # noqa: E402
+from repro.mtt.tree import Mtt  # noqa: E402
+from repro.traces.workload import generate_prefixes  # noqa: E402
+
+N_PREFIXES = 2000
+K = 50
+STEADY_ROUNDS = 3
+POOL_WIDTHS = (1, 2, 4, 8)
+
+#: Measured at the seed commit on this machine, same workload and box.
+SEED_BASELINE = {
+    "label_total_seconds": 1.052,
+    "label_ns_per_node": 6275.8,
+}
+
+
+def build_tree() -> Mtt:
+    prefixes = generate_prefixes(N_PREFIXES, seed=7)
+    entries = {p: [1] * K for p in prefixes}
+    return Mtt.build(entries)
+
+
+def measure_serial(tree: Mtt) -> dict:
+    start = time.perf_counter()
+    label_tree(tree, Rc4Csprng(b"bench-cold"))
+    cold = time.perf_counter() - start
+    steady = []
+    for i in range(STEADY_ROUNDS):
+        start = time.perf_counter()
+        label_tree(tree, Rc4Csprng(b"bench-%d" % i))
+        steady.append(time.perf_counter() - start)
+    total = tree.census().total
+    best = min(steady)
+    return {
+        "cold_seconds": round(cold, 4),
+        "steady_seconds": round(best, 4),
+        "steady_ns_per_node": round(best / total * 1e9, 1),
+        "speedup_vs_seed_steady": round(
+            SEED_BASELINE["label_total_seconds"] / best, 2),
+        "speedup_vs_seed_cold": round(
+            SEED_BASELINE["label_total_seconds"] / cold, 2),
+    }
+
+
+def measure_pool(tree: Mtt) -> dict:
+    out = {}
+    for width in POOL_WIDTHS:
+        start = time.perf_counter()
+        report = label_tree_parallel(tree, Rc4Csprng(b"bench-pool"),
+                                     workers=width)
+        wall = time.perf_counter() - start  # randomness + hash + pool
+        out[str(width)] = {
+            "seconds": round(wall, 4),
+            "mode": report.mode,
+            "jobs": report.jobs,
+        }
+    return out
+
+
+def measure_cache_hit_rate(neighbors: int = 8) -> float:
+    replay = run_replay_experiment(scale=0.002, k=10)
+    from repro.netsim.topology import FOCUS_AS
+    node = replay.deployment.node(FOCUS_AS)
+    gen = node.proofgen
+    gen.cache_hits = gen.cache_misses = 0
+    gen._cache.clear()
+    commit_time = node.recorder.commitments[-1].commit_time
+    for _ in range(neighbors):  # one reconstruction request per neighbor
+        gen.reconstruct(commit_time)
+    return gen.cache_hit_rate
+
+
+def main() -> None:
+    tree = build_tree()
+    census = tree.census()
+    report = {
+        "workload": {
+            "n_prefixes": N_PREFIXES,
+            "k": K,
+            "nodes_total": census.total,
+            "hashes_per_round": census.bit + census.prefix + census.inner,
+        },
+        "cores": os.cpu_count(),
+        "seed_baseline": SEED_BASELINE,
+        "serial": measure_serial(tree),
+        "pool": measure_pool(tree),
+        "proofgen_cache_hit_rate": round(measure_cache_hit_rate(), 4),
+    }
+    out_path = os.path.join(os.path.dirname(__file__), "..",
+                            "BENCH_commit.json")
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    json.dump(report, sys.stdout, indent=2)
+    print()
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,7 @@ class PrefixError(ValueError):
 
 
 @total_ordering
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prefix:
     """An IPv4 prefix ``address/length``.
 

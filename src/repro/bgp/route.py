@@ -59,7 +59,7 @@ class NullRoute:
 NULL_ROUTE = NullRoute()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Route:
     """A concrete BGP route to ``prefix`` as seen by one AS.
 

@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..crypto.hashing import DIGEST_SIZE, bit_commitment, digest_concat
+from ..crypto.hashing import DIGEST_SIZE, bit_commitment, \
+    bit_commitments, digest_concat
 from ..crypto.rc4 import Rc4Csprng
 
 
@@ -64,11 +65,8 @@ class FlatOpening:
         if any(b not in (0, 1) for b in bits):
             raise ValueError("bits must be 0 or 1")
         self._bits = tuple(bits)
-        self._blindings = tuple(csprng.bitstring() for _ in bits)
-        self._leaves = tuple(
-            bit_commitment(b, x)
-            for b, x in zip(self._bits, self._blindings)
-        )
+        self._blindings = tuple(csprng.bitstrings(len(self._bits)))
+        self._leaves = tuple(bit_commitments(self._bits, self._blindings))
         self._root = digest_concat(*self._leaves)
 
     @property

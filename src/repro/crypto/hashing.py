@@ -19,7 +19,7 @@ each field so distinct field tuples can never collide by concatenation.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable
+from typing import Iterable, List, Sequence
 
 #: Number of digest bytes retained (the paper truncates SHA-512 to 20 bytes).
 DIGEST_SIZE = 20
@@ -27,16 +27,20 @@ DIGEST_SIZE = 20
 #: Underlying hash algorithm name (for documentation and sanity checks).
 ALGORITHM = "sha512"
 
+_sha512 = hashlib.sha512
+
 
 def digest(data: bytes) -> bytes:
     """Return the truncated SHA-512 digest of ``data``.
 
     This is the hash function *H* from the paper: SHA-512 truncated to the
-    first :data:`DIGEST_SIZE` bytes (Section 7.1).
+    first :data:`DIGEST_SIZE` bytes (Section 7.1).  ``hashlib`` consumes
+    ``bytes``, ``bytearray``, and ``memoryview`` directly, so no copy is
+    made on any accepted input type.
     """
     if not isinstance(data, (bytes, bytearray, memoryview)):
         raise TypeError(f"digest() requires bytes, got {type(data).__name__}")
-    return hashlib.sha512(bytes(data)).digest()[:DIGEST_SIZE]
+    return _sha512(data).digest()[:DIGEST_SIZE]
 
 
 def digest_concat(*parts: bytes) -> bytes:
@@ -62,8 +66,8 @@ def digest_fields(*fields: bytes) -> bytes:
                 f"digest_fields() requires bytes, got {type(field).__name__}"
             )
         buf += len(field).to_bytes(4, "big")
-        buf += bytes(field)
-    return digest(bytes(buf))
+        buf += field
+    return digest(buf)
 
 
 def digest_iter(parts: Iterable[bytes]) -> bytes:
@@ -87,4 +91,31 @@ def bit_commitment(bit: int, blinding: bytes) -> bytes:
             f"blinding must be {DIGEST_SIZE} bytes (same length as a hash "
             f"value, per Section 5.3), got {len(blinding)}"
         )
-    return digest(bytes([bit]) + blinding)
+    return digest((b"\x01" if bit else b"\x00") + blinding)
+
+
+def bit_commitments(bits: Sequence[int],
+                    blindings: Sequence[bytes]) -> List[bytes]:
+    """Batch :func:`bit_commitment`: one commitment per (bit, blinding).
+
+    Labeling an MTT commits to every bit node — hundreds of thousands of
+    tiny ``H(b || x)`` hashes per commitment round — so the per-call
+    validation and lookup overhead of :func:`bit_commitment` is hoisted
+    out of the loop here.  Output is element-wise identical to calling
+    :func:`bit_commitment` in a loop (tested).
+    """
+    if len(bits) != len(blindings):
+        raise ValueError("bits and blindings must have equal length")
+    sha = _sha512
+    size = DIGEST_SIZE
+    one, zero = b"\x01", b"\x00"
+    out: List[bytes] = []
+    append = out.append
+    for bit, blinding in zip(bits, blindings):
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        if len(blinding) != size:
+            raise ValueError(
+                f"blinding must be {size} bytes, got {len(blinding)}")
+        append(sha((one if bit else zero) + blinding).digest()[:size])
+    return out

@@ -12,18 +12,44 @@ storage result (32 bytes of MTT data per commitment, Section 7.7) depends on
 exactly this reconstruct-from-seed design.  Nothing outside this module
 depends on RC4 specifically — any deterministic seeded generator with the
 same interface would do.
+
+Performance
+-----------
+Labeling an MTT draws one 20-byte bitstring per bit node and per dummy
+node — hundreds of thousands of draws per commitment — so the PRGA loop
+and the per-draw call overhead are both on the commitment hot path
+(§7.5).  :class:`Rc4Csprng` therefore generates keystream in large blocks
+and slices bitstrings out of the buffer, and :class:`Rc4` walks a
+precomputed ``i``-index pattern so the inner loop avoids the per-byte
+increment-and-mask and re-reads of ``S[i]``/``S[j]``.  The output stream
+is byte-identical to the textbook formulation (the unit tests pin RFC
+6229 vectors and blocked-vs-unblocked equivalence).
 """
 
 from __future__ import annotations
+
+from typing import List
 
 from .hashing import DIGEST_SIZE
 
 #: Bytes of keystream discarded after keying, per the paper (RC4-drop3072).
 DROP_BYTES = 3072
 
+#: Keystream bytes generated per buffer refill in :class:`Rc4Csprng`.
+BLOCK_BYTES = 8192
+
+#: The PRGA ``i`` index cycles 0..255; precomputing the pattern lets the
+#: inner loop iterate over it directly instead of computing
+#: ``(i + 1) & 0xFF`` per byte.  17 repetitions cover one 4096-byte chunk
+#: from any starting offset.
+_CHUNK = 4096
+_IDX = tuple(range(256)) * (_CHUNK // 256 + 1)
+
 
 class Rc4:
     """Plain RC4 keystream generator (KSA + PRGA)."""
+
+    __slots__ = ("_state", "_i", "_j")
 
     def __init__(self, key: bytes):
         if not 1 <= len(key) <= 256:
@@ -41,14 +67,22 @@ class Rc4:
         """Return the next ``n`` keystream bytes."""
         if n < 0:
             raise ValueError("keystream length must be non-negative")
-        state = self._state
+        S = self._state
         i, j = self._i, self._j
-        out = bytearray(n)
-        for k in range(n):
-            i = (i + 1) & 0xFF
-            j = (j + state[i]) & 0xFF
-            state[i], state[j] = state[j], state[i]
-            out[k] = state[(state[i] + state[j]) & 0xFF]
+        out = bytearray()
+        append = out.append
+        remaining = n
+        while remaining > 0:
+            chunk = remaining if remaining < _CHUNK else _CHUNK
+            start = (i + 1) & 0xFF
+            for i in _IDX[start:start + chunk]:
+                x = S[i]
+                j = (j + x) & 0xFF
+                y = S[j]
+                S[i] = y
+                S[j] = x
+                append(S[(x + y) & 0xFF])
+            remaining -= chunk
         self._i, self._j = i, j
         return bytes(out)
 
@@ -66,7 +100,14 @@ class Rc4Csprng:
     built from the same seed produce identical output, which is what lets
     the proof generator rebuild a past MTT's random bitstrings from the
     32-byte stored seed (Section 6.5).
+
+    Keystream is generated in :data:`BLOCK_BYTES` blocks and buffered;
+    :meth:`bitstring`, :meth:`bitstrings`, and :meth:`bytes` all slice the
+    buffer, so the byte sequence served is independent of how draws are
+    batched (blocked output == unblocked output, tested).
     """
+
+    __slots__ = ("_seed", "_rc4", "_buf", "_pos")
 
     def __init__(self, seed: bytes):
         if len(seed) == 0:
@@ -74,6 +115,8 @@ class Rc4Csprng:
         self._seed = bytes(seed)
         self._rc4 = Rc4(self._seed[:256])
         self._rc4.keystream(DROP_BYTES)
+        self._buf = b""
+        self._pos = 0
 
     @property
     def seed(self) -> bytes:
@@ -87,8 +130,38 @@ class Rc4Csprng:
         a hash value so that dummy labels are indistinguishable from real
         Merkle labels.
         """
-        return self._rc4.keystream(DIGEST_SIZE)
+        pos = self._pos
+        end = pos + DIGEST_SIZE
+        if end <= len(self._buf):
+            self._pos = end
+            return self._buf[pos:end]
+        return self.bytes(DIGEST_SIZE)
+
+    def bitstrings(self, n: int) -> List[bytes]:
+        """Return ``n`` consecutive bitstrings in one buffered draw.
+
+        Equivalent to ``[self.bitstring() for _ in range(n)]`` but pays
+        the keystream-generation cost once — the labeling pass uses this
+        to blind an entire MTT in a handful of block refills.
+        """
+        data = self.bytes(n * DIGEST_SIZE)
+        size = DIGEST_SIZE
+        return [data[i:i + size] for i in range(0, n * size, size)]
 
     def bytes(self, n: int) -> bytes:
         """Return ``n`` raw pseudo-random bytes."""
-        return self._rc4.keystream(n)
+        if n < 0:
+            raise ValueError("byte count must be non-negative")
+        buf, pos = self._buf, self._pos
+        avail = len(buf) - pos
+        if n <= avail:
+            self._pos = pos + n
+            return buf[pos:pos + n]
+        head = buf[pos:]
+        need = n - avail
+        # Refill with at least one full block so small draws amortize.
+        fresh = self._rc4.keystream(need if need > BLOCK_BYTES
+                                    else BLOCK_BYTES)
+        self._buf = fresh
+        self._pos = need
+        return head + fresh[:need]

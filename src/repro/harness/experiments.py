@@ -16,7 +16,8 @@ from ..bgp.prefix import Prefix
 from ..core.bits import compute_bits
 from ..core.promise import total_order_promise
 from ..crypto.rc4 import Rc4Csprng
-from ..mtt.labeling import label_tree, parallel_labeling_report
+from ..mtt.labeling import label_tree, label_tree_parallel, \
+    parallel_labeling_report
 from ..mtt.stats import PAPER_CENSUS, predict_census
 from ..mtt.tree import Mtt, NodeCensus
 from ..netsim.network import BGP_TRAFFIC, Network, TraceEvent
@@ -218,32 +219,73 @@ def mtt_size_experiment(n_prefixes: int = 4000, k: int = 50,
 class LabelingResult:
     n_prefixes: int
     k: int
+    #: Serial labeling time measured with the same per-subtree traversal
+    #: that the makespan model schedules — the apples-to-apples baseline
+    #: for :meth:`speedup`.
     sequential_seconds: float
-    makespans: Dict[int, float]  # workers → seconds
+    #: Serial labeling time of the fast flat-schedule path
+    #: (:func:`repro.mtt.labeling.label_tree`); always ≤ the above.
+    flat_seconds: float
+    makespans: Dict[int, float]  # workers → modeled seconds
     hash_count: int
+    #: workers → measured wall-clock of a real pool run (only populated
+    #: when ``pool_workers`` was requested).
+    pool_seconds: Dict[int, float] = field(default_factory=dict)
+    #: pool mode actually used ("process" or "thread"), "" if unmeasured.
+    pool_mode: str = ""
 
     def speedup(self, workers: int) -> float:
         return self.sequential_seconds / self.makespans[workers]
 
+    def pool_speedup(self, workers: int) -> float:
+        return self.sequential_seconds / self.pool_seconds[workers]
+
 
 def labeling_experiment(n_prefixes: int = 2000, k: int = 50,
                         workers: Tuple[int, ...] = (1, 2, 3),
-                        seed: int = 7) -> LabelingResult:
+                        seed: int = 7,
+                        pool_workers: Tuple[int, ...] = (),
+                        ) -> LabelingResult:
+    """Sequential labeling time plus the modeled §7.1 makespans; with
+    ``pool_workers`` it also runs the *real* worker pool
+    (:func:`label_tree_parallel`) at each requested width and records
+    its wall clock — on a box with enough free cores the measured times
+    should approach the model."""
     from ..traces.workload import generate_prefixes
     prefixes = generate_prefixes(n_prefixes, seed=seed)
     entries = {p: [1] * k for p in prefixes}
     tree = Mtt.build(entries)
-    sequential = label_tree(tree, Rc4Csprng(b"label-exp"))
+    flat = label_tree(tree, Rc4Csprng(b"label-exp"))
     makespans = {}
+    sequential_seconds = 0.0
     for c in workers:
         tree_c = Mtt.build(entries)
         report = parallel_labeling_report(tree_c, Rc4Csprng(b"label-exp"),
                                           workers=c)
         makespans[c] = report.makespan_seconds
+        # Modeled makespans schedule real per-subtree times, so the
+        # speedup baseline must be the same traversal run serially.
+        sequential_seconds = report.sequential_seconds
+        if report.root_label != flat.root_label:
+            raise RuntimeError("model labeling diverged from serial")
+    pool_seconds: Dict[int, float] = {}
+    pool_mode = ""
+    for c in pool_workers:
+        tree_c = Mtt.build(entries)
+        pool = label_tree_parallel(tree_c, Rc4Csprng(b"label-exp"),
+                                   workers=c)
+        if pool.root_label != flat.root_label:
+            raise RuntimeError("pool labeling diverged from serial")
+        pool_seconds[c] = pool.seconds
+        if pool.mode != "serial":
+            pool_mode = pool.mode
     return LabelingResult(n_prefixes=n_prefixes, k=k,
-                          sequential_seconds=sequential.seconds,
+                          sequential_seconds=sequential_seconds,
+                          flat_seconds=flat.seconds,
                           makespans=makespans,
-                          hash_count=sequential.hash_count)
+                          hash_count=flat.hash_count,
+                          pool_seconds=pool_seconds,
+                          pool_mode=pool_mode)
 
 
 # ----------------------------------------------------------------------

@@ -8,26 +8,30 @@ hashes.
 
 from .aggregation import aggregate_bits, aggregation_candidates, \
     aggregation_overhead, sibling, with_aggregates
-from .labeling import LabelingReport, ParallelReport, assign_randomness, \
-    compute_label, label_tree, parallel_labeling_report
+from .labeling import LabelingReport, ParallelLabelReport, \
+    ParallelReport, assign_randomness, compute_label, label_tree, \
+    label_tree_parallel, label_tree_with_workers, \
+    parallel_labeling_report
 from .nodes import BitNode, DummyNode, EDGE_END, EDGE_ONE, EDGE_ZERO, \
     EDGES, InnerNode, MttNode, PrefixNode, validate_structure
-from .proofs import MttBitProof, PathStep, ProofError, generate_proof, \
-    verify_proof
+from .proofs import LabelDigestCache, MttBitProof, PathStep, ProofError, \
+    generate_proof, verify_proof
 from .stats import PAPER_CENSUS, PAPER_MTT_BYTES, ScaleComparison, \
     predict_census, slot_identity_holds
-from .tree import Mtt, NodeCensus
+from .tree import FlatSchedule, Mtt, NodeCensus
 
 __all__ = [
     "aggregate_bits", "aggregation_candidates", "aggregation_overhead",
     "sibling", "with_aggregates",
-    "LabelingReport", "ParallelReport", "assign_randomness",
-    "compute_label", "label_tree", "parallel_labeling_report",
+    "LabelingReport", "ParallelLabelReport", "ParallelReport",
+    "assign_randomness", "compute_label", "label_tree",
+    "label_tree_parallel", "label_tree_with_workers",
+    "parallel_labeling_report",
     "BitNode", "DummyNode", "EDGE_END", "EDGE_ONE", "EDGE_ZERO", "EDGES",
     "InnerNode", "MttNode", "PrefixNode", "validate_structure",
-    "MttBitProof", "PathStep", "ProofError", "generate_proof",
-    "verify_proof",
+    "LabelDigestCache", "MttBitProof", "PathStep", "ProofError",
+    "generate_proof", "verify_proof",
     "PAPER_CENSUS", "PAPER_MTT_BYTES", "ScaleComparison",
     "predict_census", "slot_identity_holds",
-    "Mtt", "NodeCensus",
+    "FlatSchedule", "Mtt", "NodeCensus",
 ]

@@ -1,4 +1,4 @@
-"""Merkle labeling of MTTs (Section 5.3) with multi-worker accounting.
+"""Merkle labeling of MTTs (Section 5.3) with real multi-worker labeling.
 
 Labels: each dummy node gets a random bitstring; each bit node gets
 ``H(b_i || x_i)`` with a fresh blinding ``x_i``; each interior node (prefix
@@ -9,22 +9,39 @@ generator can reconstruct a past MTT from the stored 32-byte seed
 
 Randomness is assigned in one deterministic depth-first pass *before* any
 hashing, so the labeling work can then be partitioned into independent
-subtrees.  The paper's prototype labels subtrees on ``c`` commitment
-threads (Section 7.1); CPython's GIL prevents genuine thread speedup for
-this hash-dominated loop, so :func:`parallel_labeling_report` measures the
-real per-subtree labeling times and reports the *makespan* of a greedy
-longest-first schedule over ``c`` workers — the same quantity the paper's
-wall-clock measurement captures.  This substitution is documented in
-DESIGN.md.
+subtrees.  The hashing itself runs over the tree's cached
+:class:`~repro.mtt.tree.FlatSchedule`: arrays of node references in
+post-order, computed once per tree shape and reused across commitment
+rounds, so the per-round loops carry no isinstance dispatch and no
+repeated traversal.
+
+The paper's prototype labels subtrees on ``c`` commitment threads
+(Section 7.1).  :func:`label_tree_parallel` reproduces this for real: the
+MTT is cut into independent subtrees at a configurable depth and labeled
+on ``c`` workers via :mod:`concurrent.futures` — a process pool for
+genuine multi-core speedup (each worker receives a compact post-order
+program of hash operations and returns the labels, sidestepping both the
+GIL and the cost of pickling node graphs), with a thread-pool fallback
+where subprocesses are unavailable.  Because all randomness is assigned
+serially up front and every label is a pure function of its subtree,
+parallel, serial, and single-threaded labeling produce byte-identical
+roots from the same seed (tested).
+
+:func:`parallel_labeling_report` is retained as a *model* cross-check: it
+measures real per-subtree labeling times and reports the makespan of a
+greedy longest-first schedule over ``c`` workers — the same wall-clock
+quantity the paper measures — which remains useful on machines whose
+core count cannot support the real pool (see DESIGN.md).
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from ..crypto.hashing import bit_commitment, digest_concat
+from ..crypto.hashing import DIGEST_SIZE, bit_commitment, digest_concat
 from ..crypto.rc4 import Rc4Csprng
 from .nodes import BitNode, DummyNode, InnerNode, MttNode, PrefixNode
 from .tree import Mtt
@@ -32,48 +49,50 @@ from .tree import Mtt
 
 def assign_randomness(tree: Mtt, csprng: Rc4Csprng) -> None:
     """Deterministic DFS pass giving every bit node a blinding and every
-    dummy node its random label."""
-    stack: List[MttNode] = [tree.root]
-    while stack:
-        node = stack.pop()
-        if isinstance(node, DummyNode):
-            node.label = csprng.bitstring()
-        elif isinstance(node, BitNode):
-            node.blinding = csprng.bitstring()
-            node.label = None
-        elif isinstance(node, PrefixNode):
-            node.label = None  # invalidate any previous labeling
-            # Bit nodes in reverse so that popping restores DFS order.
-            stack.extend(reversed(node.bit_nodes))
-        elif isinstance(node, InnerNode):
-            node.label = None
-            stack.extend(reversed([c for c in node.children
-                                   if c is not None]))
+    dummy node its random label.
+
+    Draws one bitstring per dummy/bit node in the schedule's fixed DFS
+    order (one blocked CSPRNG draw for the whole tree), then invalidates
+    every previously computed label.
+    """
+    schedule = tree.schedule()
+    plan = schedule.rand_plan
+    strings = csprng.bitstrings(len(plan))
+    for (node, is_dummy), string in zip(plan, strings):
+        if is_dummy:
+            node.label = string
+        else:
+            node.blinding = string
+    for node in schedule.reset_nodes:
+        node.label = None
 
 
 def compute_label(node: MttNode) -> bytes:
     """Compute (and cache) the Merkle label of a subtree.
 
-    Iterative post-order traversal: realistic MTTs hold hundreds of
-    thousands of nodes and the branch depth can reach 33 levels with a
-    wide fan-out at prefix nodes.
+    Generic iterative post-order traversal, used for arbitrary subtrees
+    (the parallel merge step and tests).  Whole-tree labeling goes
+    through :func:`label_tree`, which runs over the flattened schedule
+    instead.  Interior nodes that already carry a label are skipped, so
+    the parallel merge only pays for the unlabeled upper nodes.
     """
     stack: List[Tuple[MttNode, bool]] = [(node, False)]
     while stack:
         current, expanded = stack.pop()
-        if isinstance(current, DummyNode):
+        kind = type(current)
+        if kind is DummyNode:
             if current.label is None:
                 raise RuntimeError("dummy node has no label; call "
                                    "assign_randomness first")
             continue
-        if isinstance(current, BitNode):
+        if kind is BitNode:
             if current.blinding is None:
                 raise RuntimeError("bit node has no blinding; call "
                                    "assign_randomness first")
             current.label = bit_commitment(current.bit, current.blinding)
             continue
         if expanded:
-            if isinstance(current, PrefixNode):
+            if kind is PrefixNode:
                 children: List[MttNode] = list(current.bit_nodes)
             else:
                 children = [c for c in current.children if c is not None]
@@ -83,12 +102,33 @@ def compute_label(node: MttNode) -> bytes:
         if current.label is not None:
             continue  # subtree already labeled (parallel job merge)
         stack.append((current, True))
-        if isinstance(current, PrefixNode):
+        if kind is PrefixNode:
             stack.extend((b, False) for b in current.bit_nodes)
         else:
             stack.extend((c, False) for c in current.children
                          if c is not None)
     return node.label
+
+
+def _hash_pass(tree: Mtt) -> bytes:
+    """Label every node of an already-blinded tree via the flat schedule.
+
+    Inlines H (SHA-512 truncated to :data:`DIGEST_SIZE`, identical to
+    :func:`repro.crypto.hashing.digest`) so each node costs one hash
+    call; the determinism tests pin this path to the generic
+    :func:`compute_label` traversal byte for byte.
+    """
+    schedule = tree.schedule()
+    sha = hashlib.sha512
+    size = DIGEST_SIZE
+    one, zero = b"\x01", b"\x00"
+    for node in schedule.bit_nodes:
+        node.label = sha((one if node.bit else zero)
+                         + node.blinding).digest()[:size]
+    join = b"".join
+    for node, children in schedule.interiors:
+        node.label = sha(join([c.label for c in children])).digest()[:size]
+    return tree.root.label
 
 
 @dataclass(frozen=True)
@@ -102,10 +142,19 @@ class LabelingReport:
 
 def label_tree(tree: Mtt, csprng: Rc4Csprng) -> LabelingReport:
     """Assign randomness and label the whole tree, timing the hash work."""
-    assign_randomness(tree, csprng)
-    census = tree.census()
+    schedule = tree.schedule()
+    # Inline randomness assignment without the label-reset pass: the
+    # hash pass below overwrites every bit and interior label
+    # unconditionally, so invalidation would be pure overhead here.
+    strings = csprng.bitstrings(len(schedule.rand_plan))
+    for (node, is_dummy), string in zip(schedule.rand_plan, strings):
+        if is_dummy:
+            node.label = string
+        else:
+            node.blinding = string
+    census = schedule.counts
     start = time.perf_counter()
-    root_label = compute_label(tree.root)
+    root_label = _hash_pass(tree)
     seconds = time.perf_counter() - start
     # One hash per bit node and per interior node (dummies are free).
     hashes = census.bit + census.prefix + census.inner
@@ -113,13 +162,194 @@ def label_tree(tree: Mtt, csprng: Rc4Csprng) -> LabelingReport:
                           hash_count=hashes)
 
 
+# ----------------------------------------------------------------------
+# Real parallel labeling (the paper's c commitment threads, §7.1)
+
+#: Op kinds of the compact subtree program shipped to workers.
+_OP_DUMMY, _OP_BIT, _OP_INTERIOR = 0, 1, 2
+
+
+def _encode_subtree(root: MttNode) -> Tuple[list, List[MttNode]]:
+    """Flatten one subtree into a picklable post-order hash program.
+
+    Returns ``(ops, nodes)``: ``ops[i]`` describes how to compute the
+    label of ``nodes[i]`` — a dummy's precomputed label, a bit node's
+    ``(bit, blinding)``, or an interior node's child indices (children
+    always precede parents).  Workers never see node objects, only this
+    program, which keeps pickling cost linear in the randomness size.
+    """
+    ops: list = []
+    nodes: List[MttNode] = []
+    index = {}
+    work: List[Tuple[MttNode, Optional[Tuple[MttNode, ...]]]] = \
+        [(root, None)]
+    while work:
+        node, children = work.pop()
+        kind = type(node)
+        if kind is DummyNode:
+            if node.label is None:
+                raise RuntimeError("dummy node has no label; call "
+                                   "assign_randomness first")
+            index[id(node)] = len(ops)
+            ops.append((_OP_DUMMY, node.label))
+            nodes.append(node)
+            continue
+        if kind is BitNode:
+            if node.blinding is None:
+                raise RuntimeError("bit node has no blinding; call "
+                                   "assign_randomness first")
+            index[id(node)] = len(ops)
+            ops.append((_OP_BIT, (node.bit, node.blinding)))
+            nodes.append(node)
+            continue
+        if children is not None:
+            index[id(node)] = len(ops)
+            ops.append((_OP_INTERIOR,
+                        tuple(index[id(c)] for c in children)))
+            nodes.append(node)
+            continue
+        if kind is PrefixNode:
+            kids: Tuple[MttNode, ...] = tuple(node.bit_nodes)
+        else:
+            kids = tuple(c for c in node.children if c is not None)
+        work.append((node, kids))
+        work.extend((c, None) for c in kids)
+    return ops, nodes
+
+
+def _label_ops(ops: list) -> List[bytes]:
+    """Execute one subtree hash program; runs inside worker processes.
+
+    Inlines H (SHA-512 truncated to :data:`DIGEST_SIZE`, matching
+    :func:`repro.crypto.hashing.digest`) so the per-op cost is one hash
+    call; the determinism tests pin worker output to the serial path.
+    """
+    sha = hashlib.sha512
+    size = DIGEST_SIZE
+    one, zero = b"\x01", b"\x00"
+    join = b"".join
+    labels: List[bytes] = []
+    append = labels.append
+    for kind, payload in ops:
+        if kind == _OP_DUMMY:
+            append(payload)
+        elif kind == _OP_BIT:
+            bit, blinding = payload
+            append(sha((one if bit else zero) + blinding)
+                   .digest()[:size])
+        else:
+            append(sha(join([labels[i] for i in payload]))
+                   .digest()[:size])
+    return labels
+
+
+@dataclass(frozen=True)
+class ParallelLabelReport:
+    """Result of a real multi-worker labeling run."""
+
+    root_label: bytes
+    workers: int
+    seconds: float  # wall clock of the hash phase, pool overhead included
+    hash_count: int
+    mode: str  # "process" | "thread" | "serial"
+    jobs: int
+
+
+def label_tree_parallel(tree: Mtt, csprng: Rc4Csprng, workers: int,
+                        cut_depth: int = 4,
+                        prefer_processes: bool = True,
+                        ) -> ParallelLabelReport:
+    """Assign randomness serially, then label subtrees on ``c`` workers.
+
+    The tree is partitioned into independent subtrees ``cut_depth``
+    branch levels below the root; each worker labels whole subtrees and
+    the (small) remainder above the cut is merged serially, exactly as
+    the paper splits "the MTT into subtrees that are each labeled
+    completely by one of the threads" (§7.1).  Labels land on the same
+    node objects serial labeling would have written, so proof generation
+    is oblivious to how the tree was labeled.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    assign_randomness(tree, csprng)
+    census = tree.schedule().counts
+    hashes = census.bit + census.prefix + census.inner
+
+    start = time.perf_counter()
+    if workers == 1:
+        root_label = _hash_pass(tree)
+        return ParallelLabelReport(
+            root_label=root_label, workers=1,
+            seconds=time.perf_counter() - start, hash_count=hashes,
+            mode="serial", jobs=1)
+
+    jobs = _top_level_jobs(tree, cut_depth)
+    tasks = [_encode_subtree(job) for job in jobs]
+    mode = _run_pool(tasks, workers, prefer_processes)
+    root_label = compute_label(tree.root)  # merge the upper remainder
+    return ParallelLabelReport(
+        root_label=root_label, workers=workers,
+        seconds=time.perf_counter() - start, hash_count=hashes,
+        mode=mode, jobs=len(jobs))
+
+
+def _run_pool(tasks, workers: int, prefer_processes: bool) -> str:
+    """Label encoded subtrees on a pool; returns the pool mode used."""
+    import concurrent.futures as futures
+
+    all_ops = [ops for ops, _ in tasks]
+    chunksize = max(1, len(tasks) // (workers * 4))
+
+    def apply(results) -> None:
+        for (_, nodes), labels in zip(tasks, results):
+            for node, label in zip(nodes, labels):
+                node.label = label
+
+    if prefer_processes:
+        try:
+            import multiprocessing
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # platform without fork
+                context = multiprocessing.get_context()
+            with futures.ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context) as pool:
+                apply(pool.map(_label_ops, all_ops, chunksize=chunksize))
+            return "process"
+        except (OSError, PermissionError, ImportError):
+            pass  # sandboxed/exotic platform: fall through to threads
+    with futures.ThreadPoolExecutor(max_workers=workers) as pool:
+        apply(pool.map(_label_ops, all_ops))
+    return "thread"
+
+
+def label_tree_with_workers(tree: Mtt, csprng: Rc4Csprng,
+                            workers: int = 1, cut_depth: int = 4):
+    """Labeling entry point for recorder and proof generator.
+
+    Serial fast path (flattened schedule) when ``workers <= 1``, the real
+    worker pool otherwise.  Both return objects exposing ``root_label``,
+    ``seconds``, and ``hash_count``.
+    """
+    if workers <= 1:
+        return label_tree(tree, csprng)
+    return label_tree_parallel(tree, csprng, workers=workers,
+                               cut_depth=cut_depth)
+
+
+# ----------------------------------------------------------------------
+# Makespan model (retained as a cross-check of the real pool)
+
+
 @dataclass(frozen=True)
 class ParallelReport:
-    """Labeling-time accounting for ``c`` commitment workers (§7.3).
+    """Modeled labeling-time accounting for ``c`` commitment workers.
 
     ``makespan_seconds`` models the wall-clock time of the paper's
     multi-threaded labeling: subtree jobs are assigned longest-first to
-    the least-loaded worker, plus the (serial) root-merge cost.
+    the least-loaded worker, plus the (serial) root-merge cost.  The
+    real pool (:func:`label_tree_parallel`) should approach this bound
+    on a machine with at least ``c`` free cores.
     """
 
     root_label: bytes
@@ -156,7 +386,7 @@ def _top_level_jobs(tree: Mtt, fanout_depth: int) -> List[MttNode]:
 
 def parallel_labeling_report(tree: Mtt, csprng: Rc4Csprng, workers: int,
                              fanout_depth: int = 4) -> ParallelReport:
-    """Label the tree and account the work as ``workers`` parallel jobs."""
+    """Label the tree and model the work as ``workers`` parallel jobs."""
     if workers < 1:
         raise ValueError("need at least one worker")
     assign_randomness(tree, csprng)

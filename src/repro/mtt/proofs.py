@@ -20,7 +20,7 @@ from .nodes import EDGE_END
 from .tree import Mtt
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PathStep:
     """One node on the proof path: its children's labels and which child
     leads toward the proven bit."""
@@ -29,7 +29,7 @@ class PathStep:
     child_index: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MttBitProof:
     """Proof that the bit for (``prefix``, ``class_index``) had value
     ``bit`` in the committed MTT.
@@ -63,6 +63,37 @@ class MttBitProof:
             for label in step.child_labels:
                 out += label
         return bytes(out)
+
+
+class LabelDigestCache:
+    """Memoized ``digest_concat`` over child-label tuples.
+
+    Path steps repeat across a batch of proofs for the same commitment:
+    all 0-proofs for one prefix share every step, and all proofs for one
+    root share the steps near the root.  The cache maps the *exact* hash
+    input (the child-label tuple) to its digest, so it can only ever
+    return what ``digest_concat`` would have — equality checks in
+    :func:`verify_proof` are unaffected.  Never share a cache across
+    electors or commitment roots you do not trust jointly; a cache is
+    cheap, make a fresh one per batch.
+    """
+
+    __slots__ = ("_store", "hits", "misses")
+
+    def __init__(self):
+        self._store: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def digest(self, child_labels: Tuple[bytes, ...]) -> bytes:
+        value = self._store.get(child_labels)
+        if value is not None:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = digest_concat(*child_labels)
+        self._store[child_labels] = value
+        return value
 
 
 class ProofError(ValueError):
@@ -108,13 +139,16 @@ def generate_proof(tree: Mtt, prefix: Prefix,
 
 
 def verify_proof(root_label: bytes, proof: MttBitProof,
-                 expected_k: Optional[int] = None) -> Optional[int]:
+                 expected_k: Optional[int] = None,
+                 cache: Optional[LabelDigestCache] = None) -> Optional[int]:
     """Check a bit proof against a committed root label.
 
     Returns the proven bit (0/1) when valid, None otherwise.  The
     verifier independently derives the expected path-child indices from
     the prefix, so a proof cannot be replayed for a different prefix or
-    class.
+    class.  A :class:`LabelDigestCache` may be supplied when checking a
+    batch of proofs against the same commitment; it memoizes only the
+    pure label-digest computation and bypasses no check.
     """
     if proof.bit not in (0, 1):
         return None
@@ -123,6 +157,8 @@ def verify_proof(root_label: bytes, proof: MttBitProof,
     bits = proof.prefix.bits()
     if len(proof.steps) != len(bits) + 2:
         return None  # prefix-node step + one inner step per level + root
+    step_digest = cache.digest if cache is not None else \
+        (lambda labels: digest_concat(*labels))
 
     # Step 0: the prefix node.
     first = proof.steps[0]
@@ -134,7 +170,7 @@ def verify_proof(root_label: bytes, proof: MttBitProof,
     leaf_label = bit_commitment(proof.bit, proof.blinding)
     if first.child_labels[first.child_index] != leaf_label:
         return None
-    running = digest_concat(*first.child_labels)
+    running = step_digest(first.child_labels)
 
     # Inner steps, bottom-up: deepest uses edge E, then the prefix bits
     # in reverse.
@@ -146,7 +182,7 @@ def verify_proof(root_label: bytes, proof: MttBitProof,
             return None
         if step.child_labels[edge] != running:
             return None
-        running = digest_concat(*step.child_labels)
+        running = step_digest(step.child_labels)
 
     if running != root_label:
         return None

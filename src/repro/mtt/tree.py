@@ -22,6 +22,89 @@ from .nodes import BitNode, DummyNode, EDGE_END, EDGES, InnerNode, \
     MttNode, PrefixNode, validate_structure
 
 
+class FlatSchedule:
+    """Flattened traversal orders for one MTT shape (the §5.3 hot path).
+
+    Between commitment rounds only the randomness changes — the tree
+    *shape* is fixed once built — so the DFS orders that labeling needs
+    are computed once and reused.  With the schedule in hand,
+    randomness assignment and Merkle labeling become tight loops over
+    preflattened arrays with no isinstance dispatch and no repeated
+    traversal (see :mod:`repro.mtt.labeling`).
+
+    * ``rand_plan`` — ``(node, is_dummy)`` pairs for every dummy and bit
+      node, in exactly the depth-first order the original recursive
+      assignment visited them.  The CSPRNG stream is consumed in this
+      order, so it must never change: proof generators rebuild past
+      blindings from the stored seed by replaying it (Section 6.5).
+    * ``reset_nodes`` — every node whose label must be invalidated when
+      fresh randomness is assigned (interior and bit nodes).
+    * ``bit_nodes`` / ``bit_values`` — all bit nodes with their committed
+      bits, in post-order.
+    * ``interiors`` — ``(node, children)`` pairs for every prefix and
+      inner node in post-order: children always precede parents, so one
+      forward pass computes every Merkle label.
+    """
+
+    __slots__ = ("rand_plan", "reset_nodes", "bit_nodes", "bit_values",
+                 "interiors", "counts")
+
+    def __init__(self, root: MttNode):
+        # Pass 1 — preorder DFS, identical to the original recursive
+        # randomness assignment (0, 1, E child order; bit nodes in class
+        # order).  This fixes the CSPRNG draw order.
+        rand_plan: List[Tuple[MttNode, bool]] = []
+        stack: List[MttNode] = [root]
+        inner = prefix = 0
+        while stack:
+            node = stack.pop()
+            kind = type(node)
+            if kind is DummyNode:
+                rand_plan.append((node, True))
+            elif kind is BitNode:
+                rand_plan.append((node, False))
+            elif kind is PrefixNode:
+                prefix += 1
+                stack.extend(reversed(node.bit_nodes))
+            else:
+                inner += 1
+                stack.extend(reversed([c for c in node.children
+                                       if c is not None]))
+        self.rand_plan = tuple(rand_plan)
+
+        # Pass 2 — post-order: children before parents, so labels can be
+        # computed in one forward sweep.
+        bit_nodes: List[BitNode] = []
+        interiors: List[Tuple[MttNode, Tuple[MttNode, ...]]] = []
+        work: List[Tuple[MttNode, Optional[Tuple[MttNode, ...]]]] = \
+            [(root, None)]
+        while work:
+            node, children = work.pop()
+            kind = type(node)
+            if kind is DummyNode:
+                continue
+            if kind is BitNode:
+                bit_nodes.append(node)
+                continue
+            if children is not None:
+                interiors.append((node, children))
+                continue
+            if kind is PrefixNode:
+                kids: Tuple[MttNode, ...] = tuple(node.bit_nodes)
+            else:
+                kids = tuple(c for c in node.children if c is not None)
+            work.append((node, kids))
+            work.extend((c, None) for c in kids)
+        self.bit_nodes = tuple(bit_nodes)
+        self.bit_values = tuple(b.bit for b in bit_nodes)
+        self.interiors = tuple(interiors)
+        self.reset_nodes = tuple(
+            [n for n, _ in interiors] + list(bit_nodes))
+        dummy = sum(1 for _, is_dummy in rand_plan if is_dummy)
+        self.counts = NodeCensus(inner=inner, prefix=prefix,
+                                 bit=len(bit_nodes), dummy=dummy)
+
+
 @dataclass(frozen=True)
 class NodeCensus:
     """Node counts per type (the §7.3 'MTT size' microbenchmark)."""
@@ -61,6 +144,7 @@ class Mtt:
                  prefix_nodes: Dict[Prefix, PrefixNode]):
         self.root = root
         self._prefix_nodes = prefix_nodes
+        self._schedule: Optional[FlatSchedule] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -134,6 +218,17 @@ class Mtt:
     # ------------------------------------------------------------------
     # Introspection
 
+    def schedule(self) -> FlatSchedule:
+        """The cached flattened labeling schedule for this tree shape.
+
+        Built lazily on first use and reused for every subsequent
+        commitment round; the shape of a built tree never changes, only
+        the randomness does.
+        """
+        if self._schedule is None:
+            self._schedule = FlatSchedule(self.root)
+        return self._schedule
+
     def iter_nodes(self) -> Iterator[MttNode]:
         stack: List[MttNode] = [self.root]
         while stack:
@@ -145,18 +240,7 @@ class Mtt:
                 stack.extend(node.bit_nodes)
 
     def census(self) -> NodeCensus:
-        inner = prefix = bit = dummy = 0
-        for node in self.iter_nodes():
-            if isinstance(node, InnerNode):
-                inner += 1
-            elif isinstance(node, PrefixNode):
-                prefix += 1
-            elif isinstance(node, BitNode):
-                bit += 1
-            else:
-                dummy += 1
-        return NodeCensus(inner=inner, prefix=prefix, bit=bit,
-                          dummy=dummy)
+        return self.schedule().counts
 
     def validate(self) -> None:
         validate_structure(self.root)

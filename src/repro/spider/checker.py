@@ -23,7 +23,7 @@ from ..core.classes import ClassScheme
 from ..core.promise import Promise
 from ..core.verdict import FaultKind, Verdict
 from ..crypto.keys import KeyRegistry
-from ..mtt.proofs import verify_proof
+from ..mtt.proofs import LabelDigestCache, verify_proof
 from .checkpoint import elector_view
 from .proofgen import ProofSet
 from .wire import SpiderBitProof, SpiderCommitment
@@ -39,6 +39,10 @@ class CheckReport:
     verdicts: List[Verdict] = field(default_factory=list)
     proofs_checked: int = 0
     check_seconds: float = 0.0
+    #: Path-digest memoization stats for this batch (shared steps across
+    #: proofs for the same commitment are hashed once).
+    digest_cache_hits: int = 0
+    digest_cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -53,8 +57,19 @@ class Checker:
         self.asn = asn
         self.registry = registry
         self.scheme = scheme
+        # Proofs in one batch share most path steps; memoize their
+        # digests per (elector, root) so each distinct step hashes once.
+        self._digest_cache: Optional[LabelDigestCache] = None
+        self._digest_cache_key: Optional[tuple] = None
 
     # ------------------------------------------------------------------
+
+    def _cache_for(self, commitment: SpiderCommitment) -> LabelDigestCache:
+        key = (commitment.elector, commitment.root)
+        if self._digest_cache is None or self._digest_cache_key != key:
+            self._digest_cache = LabelDigestCache()
+            self._digest_cache_key = key
+        return self._digest_cache
 
     def _verify_one(self, commitment: SpiderCommitment,
                     message: SpiderBitProof) -> Optional[int]:
@@ -69,7 +84,8 @@ class Checker:
             return None
         scheme = getattr(self, "_active_scheme", self.scheme)
         return verify_proof(commitment.root, message.proof,
-                            expected_k=scheme.k)
+                            expected_k=scheme.k,
+                            cache=self._cache_for(commitment))
 
     def check(self, commitment: SpiderCommitment, proofs: ProofSet,
               my_exports_to_elector: Dict[Prefix, Route],
@@ -91,6 +107,8 @@ class Checker:
         scheme = elector_scheme if elector_scheme is not None else \
             self.scheme
         self._active_scheme = scheme
+        cache = self._cache_for(commitment)
+        hits_before, misses_before = cache.hits, cache.misses
         report = CheckReport(verifier=self.asn,
                              elector=commitment.elector,
                              commit_time=commitment.commit_time)
@@ -108,6 +126,8 @@ class Checker:
             self._check_consumer_side(commitment, proofs,
                                       my_imports_from_elector, promise,
                                       watch, report)
+        report.digest_cache_hits = cache.hits - hits_before
+        report.digest_cache_misses = cache.misses - misses_before
         report.check_seconds = time.perf_counter() - start
         return report
 

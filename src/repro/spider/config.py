@@ -17,7 +17,15 @@ class SpiderConfig:
     * ``retention_seconds`` — how far back verification may reach
       (R = 365 days in the paper);
     * ``checkpoint_interval`` — how often a full routing snapshot is
-      logged (the paper estimates one per day).
+      logged (the paper estimates one per day);
+    * ``commit_workers`` — the paper's ``c`` commitment threads (§7.1):
+      MTT subtrees are labeled on this many workers when > 1;
+    * ``label_cut_depth`` — branch levels below the MTT root at which
+      the tree is cut into per-worker subtree jobs;
+    * ``reconstruction_cache_size`` — past-commitment reconstructions
+      (replay + relabel) kept by the proof generator so N neighbors
+      verifying the same interval trigger one rebuild, not N (0
+      disables caching).
     """
 
     commit_interval: float = 60.0
@@ -27,6 +35,9 @@ class SpiderConfig:
     ack_timeout: float = 10.0
     retention_seconds: float = 365 * 24 * 3600
     checkpoint_interval: float = 24 * 3600
+    commit_workers: int = 1
+    label_cut_depth: int = 4
+    reconstruction_cache_size: int = 8
 
     def __post_init__(self):
         if self.commit_interval <= 0:
@@ -37,3 +48,9 @@ class SpiderConfig:
             raise ValueError("delta must be below the commit interval")
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        if self.commit_workers < 1:
+            raise ValueError("commit_workers must be at least 1")
+        if self.label_cut_depth < 0:
+            raise ValueError("label_cut_depth must be non-negative")
+        if self.reconstruction_cache_size < 0:
+            raise ValueError("reconstruction_cache_size must be >= 0")

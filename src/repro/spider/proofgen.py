@@ -16,18 +16,25 @@ Proofs are only ever volunteered for exported prefixes; for non-exported
 prefixes the consumer must name the prefix (``watch`` set), because
 volunteering a ⊥-proof for an unasked prefix would reveal that the
 prefix exists in our table.
+
+Reconstruction (replay + relabel) is by far the dominant cost of a
+verification round, and every neighbor verifying the same commitment
+needs the *same* reconstruction, so the generator keeps a small LRU
+cache keyed by commit time (``SpiderConfig.reconstruction_cache_size``
+entries): N neighbors trigger one rebuild, not N.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List
 
 from ..bgp.prefix import Prefix
 from ..bgp.route import NULL_ROUTE
 from ..crypto.rc4 import Rc4Csprng
-from ..mtt.labeling import label_tree
+from ..mtt.labeling import label_tree_with_workers
 from ..mtt.proofs import generate_proof
 from ..mtt.tree import Mtt
 from .checkpoint import RoutingState, elector_view, replay
@@ -81,17 +88,48 @@ class ProofSet:
 
 
 class ProofGenerator:
-    """Builds proof sets from a recorder's log."""
+    """Builds proof sets from a recorder's log.
+
+    Reconstructions are cached (LRU by commit time, capacity
+    ``SpiderConfig.reconstruction_cache_size``): a reconstruction is a
+    pure function of the log contents up to that commitment, so as long
+    as the commitment exists it can be reused for every neighbor
+    verifying that interval.
+    """
 
     def __init__(self, recorder: Recorder):
         self.recorder = recorder
+        self._cache: "OrderedDict[float, Reconstruction]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def asn(self) -> int:
         return self.recorder.asn
 
-    def reconstruct(self, commit_time: float) -> Reconstruction:
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def reconstruct(self, commit_time: float,
+                    use_cache: bool = True) -> Reconstruction:
         """Replay the log and rebuild the MTT for a past commitment."""
+        if use_cache and commit_time in self._cache:
+            self.cache_hits += 1
+            self._cache.move_to_end(commit_time)
+            return self._cache[commit_time]
+        self.cache_misses += 1
+        reconstruction = self._reconstruct(commit_time)
+        capacity = getattr(self.recorder.config,
+                           "reconstruction_cache_size", 8)
+        if use_cache and capacity > 0:
+            self._cache[commit_time] = reconstruction
+            while len(self._cache) > capacity:
+                self._cache.popitem(last=False)
+        return reconstruction
+
+    def _reconstruct(self, commit_time: float) -> Reconstruction:
         recorder = self.recorder
         entry = recorder.log.commitment_at(commit_time)
         if entry is None:
@@ -104,7 +142,10 @@ class ProofGenerator:
         tree = Mtt.build(entries)
         replay_seconds = time.perf_counter() - start
 
-        report = label_tree(tree, Rc4Csprng(seed))
+        report = label_tree_with_workers(
+            tree, Rc4Csprng(seed),
+            workers=recorder.config.commit_workers,
+            cut_depth=recorder.config.label_cut_depth)
         if report.root_label != entry.payload["root"]:
             raise RuntimeError(
                 "reconstructed MTT root differs from the committed root — "

@@ -26,7 +26,7 @@ from ..crypto.hashing import digest_fields
 from ..crypto.keys import Identity, KeyRegistry
 from ..crypto.rc4 import Rc4Csprng
 from ..crypto.signatures import Signed, Signer, Verifier
-from ..mtt.labeling import label_tree
+from ..mtt.labeling import label_tree_with_workers
 from ..mtt.tree import Mtt
 from ..netsim.metering import CpuMeter
 from .checkpoint import RoutingState, apply_entry, elector_view, \
@@ -372,8 +372,10 @@ class Recorder:
         entries = self.mtt_entries(self.state)
         with self.cpu.section("mtt"):
             tree = Mtt.build(entries)
-            report = label_tree(tree,
-                                Rc4Csprng(self.commitment_seed(commit_time)))
+            report = label_tree_with_workers(
+                tree, Rc4Csprng(self.commitment_seed(commit_time)),
+                workers=self.config.commit_workers,
+                cut_depth=self.config.label_cut_depth)
         with self.cpu.section("signatures"):
             message = SpiderCommitment.make(self.signer, commit_time,
                                             report.root_label)

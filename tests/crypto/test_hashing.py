@@ -79,3 +79,26 @@ class TestBitCommitment:
             hashing.bit_commitment(0, bytes(19))
         with pytest.raises(ValueError):
             hashing.bit_commitment(0, bytes(21))
+
+
+class TestBitCommitments:
+    """The batch path must be element-wise identical to bit_commitment."""
+
+    def test_matches_scalar_version(self):
+        bits = [0, 1, 1, 0, 1]
+        blindings = [bytes([i]) * 20 for i in range(5)]
+        assert hashing.bit_commitments(bits, blindings) == \
+            [hashing.bit_commitment(b, x) for b, x in zip(bits, blindings)]
+
+    def test_empty(self):
+        assert hashing.bit_commitments([], []) == []
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hashing.bit_commitments([0, 1], [bytes(20)])
+
+    def test_validates_each_element(self):
+        with pytest.raises(ValueError):
+            hashing.bit_commitments([0, 2], [bytes(20), bytes(20)])
+        with pytest.raises(ValueError):
+            hashing.bit_commitments([0, 1], [bytes(20), bytes(19)])

@@ -50,6 +50,48 @@ class TestRc4:
         assert Rc4(b"k").keystream(0) == b""
 
 
+class TestRfc6229Vectors:
+    """RFC 6229 keystream tables (the official RC4 test vectors)."""
+
+    def test_40_bit_key(self):
+        ks = Rc4(bytes([0x01, 0x02, 0x03, 0x04, 0x05])).keystream(4112)
+        assert ks[0:16].hex() == "b2396305f03dc027ccc3524a0a1118a8"
+        assert ks[16:32].hex() == "6982944f18fc82d589c403a47a0d0919"
+        assert ks[240:256].hex() == "28cb1132c96ce286421dcaadb8b69eae"
+        assert ks[4096:4112].hex() == "ff25b58995996707e51fbdf08b34d875"
+
+    def test_128_bit_key(self):
+        key = bytes(range(0x01, 0x11))
+        ks = Rc4(key).keystream(32)
+        assert ks[0:16].hex() == "9ac7cc9a609d1ef7b2932899cde41b97"
+        assert ks[16:32].hex() == "5248c4959014126a6e8a84f11d1a9e1c"
+
+
+class TestBlockedKeystream:
+    """The blocked CSPRNG buffer must be invisible in the output."""
+
+    def test_bytes_match_unbuffered_stream(self):
+        # Mixed small/large draws across block boundaries equal one
+        # contiguous post-drop keystream.
+        raw = Rc4(b"blocked")
+        raw.keystream(DROP_BYTES)
+        gen = Rc4Csprng(b"blocked")
+        draws = [1, 7, 8192, 20, 16384 + 3, 5, 8191]
+        out = b"".join(gen.bytes(n) for n in draws)
+        assert out == raw.keystream(sum(draws))
+
+    def test_bitstrings_equal_repeated_bitstring(self):
+        a = Rc4Csprng(b"batch")
+        b = Rc4Csprng(b"batch")
+        assert a.bitstrings(300) == [b.bitstring() for _ in range(300)]
+
+    def test_bitstrings_zero(self):
+        gen = Rc4Csprng(b"batch")
+        assert gen.bitstrings(0) == []
+        # The zero-length draw must not consume stream position.
+        assert gen.bitstring() == Rc4Csprng(b"batch").bitstring()
+
+
 class TestRc4Csprng:
     def test_deterministic_given_seed(self):
         a = Rc4Csprng(b"seed-123")

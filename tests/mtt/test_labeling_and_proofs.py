@@ -6,9 +6,11 @@ from hypothesis import strategies as st
 
 from repro.bgp.prefix import Prefix
 from repro.crypto.rc4 import Rc4Csprng
-from repro.mtt.labeling import label_tree, parallel_labeling_report
-from repro.mtt.proofs import MttBitProof, PathStep, ProofError, \
-    generate_proof, verify_proof
+from repro.mtt.labeling import assign_randomness, compute_label, \
+    label_tree, label_tree_parallel, label_tree_with_workers, \
+    parallel_labeling_report
+from repro.mtt.proofs import LabelDigestCache, MttBitProof, PathStep, \
+    ProofError, generate_proof, verify_proof
 from repro.mtt.tree import Mtt
 
 
@@ -104,6 +106,121 @@ class TestParallelLabeling:
         tree = Mtt.build(BASIC)
         with pytest.raises(ValueError):
             parallel_labeling_report(tree, Rc4Csprng(b"s"), workers=0)
+
+
+class TestGoldenRoots:
+    """Anchors captured from the pre-optimization implementation: the
+    flattened schedule, blocked keystream, and worker pool must all
+    preserve the exact CSPRNG draw order and therefore these roots."""
+
+    GOLDEN_BASIC = "7c275377aa7845b2d22b413297edb5700baec380"
+    GOLDEN_WIDE = "d56c957599fc43ecd2cb483563e01b49e59ea4d8"
+
+    def wide_entries(self):
+        from repro.traces.workload import generate_prefixes
+        return {p: [i % 2 for i in range(7)]
+                for p in generate_prefixes(200, seed=11)}
+
+    def test_basic_anchor(self):
+        tree = Mtt.build(BASIC)
+        report = label_tree(tree, Rc4Csprng(b"golden-seed"))
+        assert report.root_label.hex() == self.GOLDEN_BASIC
+
+    def test_wide_anchor(self):
+        tree = Mtt.build(self.wide_entries())
+        report = label_tree(tree, Rc4Csprng(b"golden-wide"))
+        assert report.root_label.hex() == self.GOLDEN_WIDE
+
+    def test_generic_traversal_matches_anchor(self):
+        # compute_label is the reference implementation the fast
+        # schedule-driven pass must agree with.
+        tree = Mtt.build(self.wide_entries())
+        assign_randomness(tree, Rc4Csprng(b"golden-wide"))
+        assert compute_label(tree.root).hex() == self.GOLDEN_WIDE
+
+
+class TestRealPool:
+    """Process, thread, serial, and reference labeling must all produce
+    byte-identical roots from the same seed."""
+
+    def wide_tree(self):
+        from repro.traces.workload import generate_prefixes
+        entries = {p: [1, 0, 1] for p in generate_prefixes(150, seed=3)}
+        return Mtt.build(entries)
+
+    def test_process_pool_matches_serial(self):
+        tree = self.wide_tree()
+        serial = label_tree(tree, Rc4Csprng(b"pool"))
+        tree2 = self.wide_tree()
+        par = label_tree_parallel(tree2, Rc4Csprng(b"pool"), workers=3,
+                                  cut_depth=3)
+        assert par.root_label == serial.root_label
+        assert par.jobs > 1
+        assert par.mode in ("process", "thread")  # thread = fallback
+
+    def test_thread_pool_matches_serial(self):
+        tree = self.wide_tree()
+        serial = label_tree(tree, Rc4Csprng(b"pool"))
+        tree2 = self.wide_tree()
+        par = label_tree_parallel(tree2, Rc4Csprng(b"pool"), workers=3,
+                                  cut_depth=3, prefer_processes=False)
+        assert par.root_label == serial.root_label
+        assert par.mode == "thread"
+
+    def test_single_worker_uses_serial_path(self):
+        tree = self.wide_tree()
+        par = label_tree_parallel(tree, Rc4Csprng(b"pool"), workers=1)
+        assert par.mode == "serial"
+        assert par.jobs == 1
+
+    def test_pool_labels_support_proofs(self):
+        # Labels must land on the nodes so proof generation works the
+        # same regardless of labeling mode.
+        tree = self.wide_tree()
+        par = label_tree_parallel(tree, Rc4Csprng(b"pool"), workers=2,
+                                  cut_depth=3)
+        prefix = tree.prefixes[0]
+        proof = generate_proof(tree, prefix, 0)
+        assert verify_proof(par.root_label, proof, expected_k=3) == 1
+
+    def test_dispatch_helper(self):
+        tree = self.wide_tree()
+        serial = label_tree_with_workers(tree, Rc4Csprng(b"pool"))
+        tree2 = self.wide_tree()
+        pooled = label_tree_with_workers(tree2, Rc4Csprng(b"pool"),
+                                         workers=2, cut_depth=3)
+        assert serial.root_label == pooled.root_label
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            label_tree_parallel(Mtt.build(BASIC), Rc4Csprng(b"s"),
+                                workers=0)
+
+
+class TestLabelDigestCache:
+    def test_cached_verification_matches_uncached(self):
+        tree, report = build_labeled(BASIC)
+        cache = LabelDigestCache()
+        for prefix, bits in BASIC.items():
+            for class_index, bit in enumerate(bits):
+                proof = generate_proof(tree, prefix, class_index)
+                assert verify_proof(report.root_label, proof,
+                                    expected_k=3, cache=cache) == bit
+        assert cache.hits > 0  # shared steps were actually reused
+
+    def test_cache_does_not_accept_forgeries(self):
+        tree, report = build_labeled(BASIC)
+        cache = LabelDigestCache()
+        proof = generate_proof(tree, Prefix.parse("0.0.0.0/2"), 0)
+        # Warm the cache with the honest proof first.
+        assert verify_proof(report.root_label, proof,
+                            cache=cache) is not None
+        forged = MttBitProof(prefix=proof.prefix,
+                             class_index=proof.class_index,
+                             bit=1 - proof.bit, blinding=proof.blinding,
+                             steps=proof.steps)
+        assert verify_proof(report.root_label, forged,
+                            cache=cache) is None
 
 
 class TestProofs:

@@ -119,6 +119,56 @@ class TestReconstruction:
                 r.root for r in node.recorder.commitments
                 if r.commit_time == commit_time)
 
+    def test_reconstruction_cache_hits_on_repeat(self, deployment):
+        network, dep = deployment
+        node = dep.node(FOCUS_AS)
+        record = dep.commit_now(FOCUS_AS)
+        gen = node.proofgen
+        first = gen.reconstruct(record.commit_time)
+        hits_before = gen.cache_hits
+        second = gen.reconstruct(record.commit_time)
+        assert second is first  # same object, no rebuild
+        assert gen.cache_hits == hits_before + 1
+        assert 0.0 < gen.cache_hit_rate <= 1.0
+
+    def test_reconstruction_cache_bypass(self, deployment):
+        network, dep = deployment
+        node = dep.node(FOCUS_AS)
+        record = dep.commit_now(FOCUS_AS)
+        gen = node.proofgen
+        cached = gen.reconstruct(record.commit_time)
+        fresh = gen.reconstruct(record.commit_time, use_cache=False)
+        assert fresh is not cached
+        assert fresh.root == cached.root
+
+    def test_reconstruction_cache_evicts_lru(self, deployment):
+        from dataclasses import replace
+
+        network, dep = deployment
+        node = dep.node(FOCUS_AS)
+        gen = node.proofgen
+        original = node.recorder.config
+        node.recorder.config = replace(original,
+                                       reconstruction_cache_size=2)
+        try:
+            gen._cache.clear()
+            # Three commitments at distinct times.
+            history = []
+            for _ in range(3):
+                network.sim.clock.advance_to(network.sim.now + 1.0)
+                history.append(dep.commit_now(FOCUS_AS).commit_time)
+            assert len(set(history)) == 3
+            for commit_time in history:
+                gen.reconstruct(commit_time)
+            assert len(gen._cache) == 2
+            # The oldest reconstruction was evicted; the newest remain.
+            assert history[-1] in gen._cache
+            assert history[-2] in gen._cache
+            assert history[0] not in gen._cache
+        finally:
+            node.recorder.config = original
+            gen._cache.clear()
+
 
 class TestVerification:
     def test_honest_verification_clean_everywhere(self, deployment):
