@@ -1,0 +1,168 @@
+"""Machine-readable runtime-layer throughput probe.
+
+Measures the new :mod:`repro.runtime` subsystem and writes
+``BENCH_runtime.json`` at the repo root so regressions are diffable:
+
+* codec throughput — encode and decode messages/second for a signed
+  SPIDeR announcement, plus bytes/message for each wire type (the
+  binary frames that would cross a real link);
+* loopback transport throughput — messages/second through the full
+  encode → frame → decode → dispatch path, no sockets;
+* TCP transport throughput — the same path over a real localhost
+  socket pair between two threads of this process;
+* a bandwidth cross-check against §7.6: the paper reports 11.8 kbps of
+  BGP and 32.6 kbps of SPIDeR traffic at AS 5; the per-announcement
+  frame size here, times the replay message rate, is the runtime
+  layer's equivalent of that SPIDeR figure.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_runtime.py``.
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bgp.prefix import Prefix  # noqa: E402
+from repro.bgp.route import Route  # noqa: E402
+from repro.crypto.keys import KeyRegistry, make_identity  # noqa: E402
+from repro.crypto.signatures import Signer  # noqa: E402
+from repro.runtime.codec import decode_message, \
+    encode_message  # noqa: E402
+from repro.runtime.framing import encode_frame  # noqa: E402
+from repro.runtime.tcp import TcpTransport  # noqa: E402
+from repro.runtime.transport import LoopbackHub  # noqa: E402
+from repro.spider.wire import SpiderAck, SpiderAnnounce, \
+    SpiderCommitment, SpiderWithdraw  # noqa: E402
+
+#: §7.6, Figure 8: average traffic at AS 5 during replay.
+PAPER_BGP_KBPS = 11.8
+PAPER_SPIDER_KBPS = 32.6
+
+CODEC_ITERATIONS = 2000
+TRANSPORT_MESSAGES = 1000
+
+
+def sample_messages():
+    registry = KeyRegistry()
+    alice = make_identity(11, registry=registry, bits=512, seed=901)
+    signer = Signer(alice)
+    prefix = Prefix.parse("203.0.113.0/24")
+    route = Route(prefix=prefix, as_path=(11, 4000), neighbor=4000)
+    announce = SpiderAnnounce.make(signer, receiver=12, timestamp=10.0,
+                                   route=route, underlying=None)
+    return {
+        "announce": announce,
+        "withdraw": SpiderWithdraw.make(signer, receiver=12,
+                                        timestamp=11.0, prefix=prefix),
+        "ack": SpiderAck.make(signer, sender=12, timestamp=12.0,
+                              message_hash=announce.message_hash()),
+        "commitment": SpiderCommitment.make(signer, commit_time=60.0,
+                                            root=b"r" * 20),
+    }
+
+
+def measure_codec(messages):
+    announce = messages["announce"]
+    start = time.perf_counter()
+    for _ in range(CODEC_ITERATIONS):
+        encoded = encode_message(announce)
+    encode_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(CODEC_ITERATIONS):
+        decode_message(encoded)
+    decode_seconds = time.perf_counter() - start
+    return {
+        "encode_msgs_per_sec": CODEC_ITERATIONS / encode_seconds,
+        "decode_msgs_per_sec": CODEC_ITERATIONS / decode_seconds,
+        "frame_bytes_per_message": {
+            name: len(encode_frame(encode_message(m)))
+            for name, m in messages.items()
+        },
+    }
+
+
+def measure_loopback(messages):
+    hub = LoopbackHub()
+    sender = hub.attach(1)
+    receiver = hub.attach(2)
+    received = []
+    receiver.on_receive(received.append)
+    announce = messages["announce"]
+    start = time.perf_counter()
+    for _ in range(TRANSPORT_MESSAGES):
+        sender.send(2, announce)
+    hub.deliver_all()
+    elapsed = time.perf_counter() - start
+    assert len(received) == TRANSPORT_MESSAGES
+    return {
+        "msgs_per_sec": TRANSPORT_MESSAGES / elapsed,
+        "bytes_per_message": sender.bytes_sent // sender.frames_sent,
+    }
+
+
+def measure_tcp(messages):
+    server = TcpTransport(2)
+    received = []
+    server.on_receive(received.append)
+    server.start()
+    client = TcpTransport(1, peers={2: ("127.0.0.1", server.port)})
+    client.start()
+    announce = messages["announce"]
+    try:
+        start = time.perf_counter()
+        for _ in range(TRANSPORT_MESSAGES):
+            client.send(2, announce)
+        deadline = time.monotonic() + 60
+        while len(received) < TRANSPORT_MESSAGES:
+            if time.monotonic() > deadline:
+                raise TimeoutError("TCP probe did not drain")
+            time.sleep(0.005)
+        elapsed = time.perf_counter() - start
+    finally:
+        client.stop()
+        server.stop()
+    return {
+        "msgs_per_sec": TRANSPORT_MESSAGES / elapsed,
+        "bytes_per_message": client.bytes_sent // client.frames_sent,
+    }
+
+
+def paper_crosscheck(codec):
+    """How the honest frame sizes line up with the §7.6 kbps figures."""
+    announce_bytes = codec["frame_bytes_per_message"]["announce"]
+    spider_bps = PAPER_SPIDER_KBPS * 1000
+    return {
+        "paper_bgp_kbps": PAPER_BGP_KBPS,
+        "paper_spider_kbps": PAPER_SPIDER_KBPS,
+        "announce_frame_bytes": announce_bytes,
+        # Announcements/second the paper's SPIDeR byte budget would
+        # carry if it were all announce frames of this codec.
+        "announces_per_sec_at_paper_rate":
+            spider_bps / 8 / announce_bytes,
+    }
+
+
+def main():
+    messages = sample_messages()
+    codec = measure_codec(messages)
+    report = {
+        "iterations": {"codec": CODEC_ITERATIONS,
+                       "transport": TRANSPORT_MESSAGES},
+        "codec": codec,
+        "loopback": measure_loopback(messages),
+        "tcp": measure_tcp(messages),
+        "section_7_6": paper_crosscheck(codec),
+    }
+    out = os.path.join(os.path.dirname(__file__), "..",
+                       "BENCH_runtime.json")
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

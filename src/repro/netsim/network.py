@@ -72,12 +72,26 @@ class Network:
     # ------------------------------------------------------------------
     # Message transport
 
+    def schedule_delivery(self, sender: int, category: str, nbytes: int,
+                          deliver) -> None:
+        """Meter ``nbytes`` against ``sender`` and schedule ``deliver``
+        after one link delay.
+
+        The single egress point for every overlay on this network: BGP
+        updates, SPIDeR traffic, and runtime transports all go through
+        here, so the simulator and the socket runtime share one
+        interface (:mod:`repro.runtime.simadapter`).
+        """
+        meter = self.meters.get(sender)
+        if meter is not None:
+            meter.record(category, nbytes, at=self.sim.now)
+        self.sim.after(self.link_delay, deliver)
+
     def send(self, update: Update) -> None:
         """Meter and schedule delivery of one UPDATE."""
-        meter = self.meters.get(update.sender)
-        if meter is not None:
-            meter.record(BGP_TRAFFIC, update.wire_size(), at=self.sim.now)
-        self.sim.after(self.link_delay, lambda: self._deliver(update))
+        self.schedule_delivery(update.sender, BGP_TRAFFIC,
+                               update.wire_size(),
+                               lambda: self._deliver(update))
 
     def _deliver(self, update: Update) -> None:
         receiver = self.speakers.get(update.receiver)

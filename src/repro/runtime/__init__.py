@@ -1,0 +1,44 @@
+"""repro.runtime — SPIDeR nodes over real transports.
+
+The simulator (:mod:`repro.netsim`) proves the protocol logic; this
+package gives it a wire.  It provides, bottom-up:
+
+* :mod:`~repro.runtime.codec` — deterministic, strict binary encodings
+  for every SPIDeR wire message;
+* :mod:`~repro.runtime.framing` — length-prefixed frames over a byte
+  stream;
+* :mod:`~repro.runtime.transport` — the Transport interface plus the
+  hermetic in-process :class:`LoopbackTransport`;
+* :mod:`~repro.runtime.tcp` — asyncio TCP streams with per-peer bounded
+  outbound queues;
+* :mod:`~repro.runtime.delivery` — ACK tracking with exponential
+  backoff + jitter, surfacing unacknowledged messages to the Section
+  6.2 evidence path;
+* :mod:`~repro.runtime.node_runtime` — a per-process host bundling
+  clock, timers, inbox, and one :class:`~repro.spider.node.SpiderNode`;
+* :mod:`~repro.runtime.simadapter` — the netsim event loop behind the
+  same Transport interface, so simulation and deployment share code.
+"""
+
+from .codec import CodecError, WIRE_VERSION, decode_message, \
+    encode_message
+from .delivery import DeliveryService, PendingDelivery, RetryPolicy
+from .framing import FrameDecoder, FramingError, MAX_FRAME_SIZE, \
+    encode_frame
+from .logdump import encode_log, encode_log_entry, log_digest
+from .node_runtime import NodeRuntime, StepClock, TimerWheel, WallClock
+from .simadapter import SimTransport, sim_transport_factory
+from .tcp import TcpTransport
+from .transport import LoopbackHub, LoopbackTransport, Transport, \
+    TransportError
+
+__all__ = [
+    "CodecError", "WIRE_VERSION", "decode_message", "encode_message",
+    "DeliveryService", "PendingDelivery", "RetryPolicy",
+    "FrameDecoder", "FramingError", "MAX_FRAME_SIZE", "encode_frame",
+    "encode_log", "encode_log_entry", "log_digest",
+    "NodeRuntime", "StepClock", "TimerWheel", "WallClock",
+    "SimTransport", "sim_transport_factory",
+    "TcpTransport",
+    "LoopbackHub", "LoopbackTransport", "Transport", "TransportError",
+]

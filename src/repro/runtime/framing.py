@@ -1,0 +1,64 @@
+"""Length-prefixed frames for the SPIDeR byte stream.
+
+TCP gives an ordered byte stream, not message boundaries, so every
+encoded message travels as ``u32 length | payload``.  The decoder is
+incremental: feed it whatever chunk the socket produced and it yields
+every completed frame, buffering the rest — the standard shape of a
+stream parser (cf. asyncio protocols).
+
+Frames are bounded by :data:`MAX_FRAME_SIZE`; an oversized length prefix
+means the stream is corrupt or hostile, and the decoder refuses to
+allocate for it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Refuse frames above 1 MiB: the largest legitimate SPIDeR message (a
+#: signed bit proof with a full 33-step path) is a few KiB.
+MAX_FRAME_SIZE = 1 << 20
+
+LENGTH_BYTES = 4
+
+
+class FramingError(ValueError):
+    """The byte stream violates the framing protocol."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap one encoded message for the wire."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise FramingError(
+            f"frame of {len(payload)} bytes exceeds {MAX_FRAME_SIZE}")
+    return len(payload).to_bytes(LENGTH_BYTES, "big") + payload
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary chunking."""
+
+    def __init__(self, max_frame: int = MAX_FRAME_SIZE):
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Absorb a chunk; return every frame it completed, in order."""
+        self._buffer += data
+        frames: List[bytes] = []
+        while True:
+            if len(self._buffer) < LENGTH_BYTES:
+                break
+            length = int.from_bytes(self._buffer[:LENGTH_BYTES], "big")
+            if length > self.max_frame:
+                raise FramingError(
+                    f"frame length {length} exceeds {self.max_frame}")
+            if len(self._buffer) < LENGTH_BYTES + length:
+                break
+            frames.append(bytes(
+                self._buffer[LENGTH_BYTES:LENGTH_BYTES + length]))
+            del self._buffer[:LENGTH_BYTES + length]
+        return frames

@@ -1,0 +1,82 @@
+"""Canonical byte serialization of a recorder's evidence log.
+
+The acceptance bar for the runtime layer is *byte-identical* evidence
+logs for the same scripted exchange over different transports.  This
+module defines the canonical form: every entry as
+``kind | timestamp_ms | payload`` with the payload encoded through the
+wire codec (messages), the seed+root pair (commitments), or a sorted
+canonical dump of the routing state (checkpoints).  Two logs that
+serialize identically recorded the same protocol history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..crypto.hashing import digest
+from ..spider.checkpoint import RoutingState
+from ..spider.log import EntryKind, LogEntry, SpiderLog
+from .codec import _Writer, encode_message
+
+_KIND_TAGS: Dict[EntryKind, int] = {
+    EntryKind.SENT_ANNOUNCE: 0x10,
+    EntryKind.RECV_ANNOUNCE: 0x11,
+    EntryKind.SENT_WITHDRAW: 0x12,
+    EntryKind.RECV_WITHDRAW: 0x13,
+    EntryKind.SENT_ACK: 0x14,
+    EntryKind.RECV_ACK: 0x15,
+    EntryKind.COMMITMENT: 0x16,
+    EntryKind.CHECKPOINT: 0x17,
+}
+
+
+def _encode_state(state: RoutingState) -> bytes:
+    w = _Writer()
+    for label, tables in ((b"I", state.imports), (b"E", state.exports)):
+        w.raw(label)
+        w.u32(len(tables))
+        for neighbor in sorted(tables):
+            table = tables[neighbor]
+            w.u32(neighbor)
+            w.u32(len(table))
+            for prefix in sorted(table):
+                w.raw(prefix.to_bytes())
+                route = table[prefix]
+                w.u32(route.neighbor)
+                w.blob16(route.to_bytes())
+    w.raw(b"O")
+    w.u32(len(state.origins))
+    for prefix in sorted(state.origins):
+        w.raw(prefix.to_bytes())
+    return w.getvalue()
+
+
+def encode_log_entry(entry: LogEntry) -> bytes:
+    w = _Writer()
+    w.u8(_KIND_TAGS[entry.kind])
+    w.time_ms(entry.timestamp)
+    if entry.kind is EntryKind.COMMITMENT:
+        record = entry.payload  # {"seed": ..., "root": ...}
+        w.blob16(record["seed"])
+        w.blob16(record["root"])
+    elif entry.kind is EntryKind.CHECKPOINT:
+        w.blob16(_encode_state(entry.payload))
+    else:
+        encoded = encode_message(entry.payload)
+        w.u32(len(encoded))
+        w.raw(encoded)
+    return w.getvalue()
+
+
+def encode_log(log: SpiderLog) -> bytes:
+    """The whole log in canonical form (entry count + entries)."""
+    w = _Writer()
+    w.u32(len(log))
+    for entry in log:
+        w.raw(encode_log_entry(entry))
+    return w.getvalue()
+
+
+def log_digest(log: SpiderLog) -> str:
+    """Short hex fingerprint of the canonical log bytes."""
+    return digest(encode_log(log)).hex()

@@ -1,0 +1,187 @@
+"""Hosting a SPIDeR node behind a real transport.
+
+A :class:`NodeRuntime` owns the pieces one OS process needs to run one
+AS's SPIDeR stack outside the simulator: a clock (stepped or wall), a
+timer wheel for the Nagle and retry timers, a thread-safe inbox fed by
+the transport, and the :class:`~repro.spider.node.SpiderNode` itself.
+
+Determinism is the design center.  Transports deliver into the inbox
+from arbitrary threads, but *processing* happens only when the caller
+invokes :meth:`deliver_pending` — so a scripted exchange produces the
+same log entries, with the same timestamps, whether the bytes crossed a
+loopback hub or two OS processes and a TCP stack (the acceptance test
+compares those logs byte for byte).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..bgp.messages import Announce, Withdraw
+from ..bgp.prefix import Prefix
+from ..bgp.route import Route
+from ..core.classes import ClassScheme
+from ..core.promise import Promise, total_order_promise
+from ..crypto.keys import Identity, KeyRegistry
+from ..spider.config import SpiderConfig
+from ..spider.node import SpiderNode
+from .delivery import DeliveryService, RetryPolicy
+from .transport import Transport
+
+
+class StepClock:
+    """A manually advanced clock on the millisecond grid.
+
+    Millisecond quantization matches the wire timestamp resolution, so
+    a stepped run and its decoded-from-the-wire twin agree exactly.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = round(float(start), 3)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        t = round(float(t), 3)
+        if t < self._now:
+            raise ValueError(
+                f"time cannot move backwards ({t} < {self._now})")
+        self._now = t
+
+
+class WallClock:
+    """Wall-clock time, optionally offset to start near zero."""
+
+    def __init__(self, rebase: bool = True):
+        self._epoch = time.time() if rebase else 0.0
+
+    @property
+    def now(self) -> float:
+        return time.time() - self._epoch
+
+
+class TimerWheel:
+    """Deterministic (due, insertion-order) timer queue.
+
+    With a :class:`StepClock`, timers fire inside :meth:`pump` — which
+    :meth:`NodeRuntime.advance_to` calls after moving the clock — so a
+    scripted run controls exactly when retries and Nagle flushes happen.
+    """
+
+    def __init__(self, clock):
+        self.clock = clock
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        heapq.heappush(self._queue,
+                       (self.clock.now + delay, next(self._seq), fn))
+
+    def pump(self) -> int:
+        """Run every timer due at the current clock; returns the count."""
+        fired = 0
+        while self._queue and self._queue[0][0] <= self.clock.now:
+            _due, _seq, fn = heapq.heappop(self._queue)
+            fn()
+            fired += 1
+        return fired
+
+
+class NodeRuntime:
+    """One AS's SPIDeR node, hosted behind a :class:`Transport`."""
+
+    def __init__(self, identity: Identity, registry: KeyRegistry,
+                 scheme: ClassScheme, transport: Transport,
+                 promises: Optional[Dict[int, Promise]] = None,
+                 neighbors: Tuple[int, ...] = (),
+                 config: Optional[SpiderConfig] = None,
+                 clock=None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 retry_seed: int = 0):
+        if promises is None:
+            promises = {n: total_order_promise(scheme)
+                        for n in neighbors}
+        self.config = config if config is not None else SpiderConfig()
+        self.clock = clock if clock is not None else StepClock()
+        self.timers = TimerWheel(self.clock)
+        self.transport = transport
+        self.node = SpiderNode(
+            identity=identity, registry=registry, scheme=scheme,
+            promises=promises, config=self.config, clock=self.clock,
+            transport=transport,
+            master_seed=b"spider-runtime-%d" % identity.asn,
+            schedule=self.timers.schedule)
+        self.delivery = DeliveryService(
+            self.node.recorder, schedule=self.timers.schedule,
+            policy=retry_policy, seed=retry_seed)
+        self.inbox: Deque[object] = deque()
+        transport.on_receive(self.inbox.append)
+
+    @property
+    def asn(self) -> int:
+        return self.node.asn
+
+    @property
+    def recorder(self):
+        return self.node.recorder
+
+    # ------------------------------------------------------------------
+    # Time
+
+    def advance_to(self, t: float) -> int:
+        """Move the stepped clock and fire every timer now due."""
+        self.clock.advance_to(t)
+        return self.timers.pump()
+
+    # ------------------------------------------------------------------
+    # Traffic
+
+    def announce(self, receiver: int, route: Route) -> None:
+        """Send one SPIDeR announcement (as if BGP just exported it)."""
+        self.recorder.mirror_sent_update(
+            Announce(sender=self.asn, receiver=receiver, route=route))
+
+    def withdraw(self, receiver: int, prefix: Prefix) -> None:
+        self.recorder.mirror_sent_update(
+            Withdraw(sender=self.asn, receiver=receiver, prefix=prefix))
+
+    def commit(self):
+        """One commitment round (broadcasts to all known neighbors)."""
+        return self.recorder.make_commitment()
+
+    # ------------------------------------------------------------------
+    # Inbound processing (always on the caller's thread)
+
+    def deliver_pending(self, limit: Optional[int] = None) -> int:
+        """Process queued inbound messages; returns how many ran."""
+        processed = 0
+        while self.inbox and (limit is None or processed < limit):
+            self.node.receive_spider(self.inbox.popleft())
+            processed += 1
+        return processed
+
+    def wait_for_inbox(self, count: int, timeout: float = 30.0) -> None:
+        """Block (wall time) until ``count`` messages are queued.
+
+        Only meaningful with a real transport; the loopback hub delivers
+        synchronously, so the condition is checked first.
+        """
+        deadline = time.monotonic() + timeout
+        while len(self.inbox) < count:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"AS {self.asn}: inbox has {len(self.inbox)} of "
+                    f"{count} expected messages after {timeout}s")
+            time.sleep(0.005)

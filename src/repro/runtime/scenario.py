@@ -1,0 +1,213 @@
+"""The canonical two-node SPIDeR exchange, transport-agnostic.
+
+One scripted announce → ack → commitment round between AS 11 ("A") and
+AS 12 ("B").  Every timestamp is fixed by the script, not by the
+transport, so the resulting evidence logs are a pure function of the
+protocol — running the same script over :class:`LoopbackTransport` in
+one process or over real TCP between two OS processes must produce
+byte-identical logs (:mod:`repro.runtime.logdump` defines the bytes).
+
+The module doubles as the two-process demo: ``python -m
+repro.runtime.scenario --role a --port 9401 --peer-port 9402`` in one
+terminal and ``--role b --port 9402 --peer-port 9401`` in another runs
+the exchange over localhost TCP and prints each side's log digest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Optional, Tuple
+
+from ..bgp.prefix import Prefix
+from ..bgp.route import Route
+from ..crypto.keys import KeyRegistry, make_identity
+from ..spider.config import SpiderConfig
+from ..spider.node import evaluation_scheme
+from .delivery import RetryPolicy
+from .logdump import encode_log, log_digest
+from .node_runtime import NodeRuntime
+from .tcp import TcpTransport
+from .transport import LoopbackHub, Transport
+
+ASN_A = 11
+ASN_B = 12
+KEY_SEED = 7100
+PREFIX = Prefix.parse("203.0.113.0/24")
+ROUTE = Route(prefix=PREFIX, as_path=(ASN_A, 4000), neighbor=4000)
+
+#: Script timeline (seconds on the stepped clock, millisecond grid).
+T_ANNOUNCE = 1.0
+T_ACK_SEEN = 1.5
+T_COMMIT = 60.0
+T_COMMIT_SEEN = 60.5
+
+#: First retry only after 2 s: the scripted ACK (processed at t=1.5)
+#: always wins the race, so the clean exchange never retransmits.
+EXCHANGE_RETRY = RetryPolicy(initial=2.0, factor=2.0, max_delay=8.0,
+                             jitter=0.1, max_attempts=4)
+
+EXCHANGE_CONFIG = SpiderConfig(commit_interval=60.0, nagle_delay=0.0,
+                               ack_timeout=10.0)
+
+
+def exchange_runtime(asn: int, transport: Transport,
+                     config: SpiderConfig = EXCHANGE_CONFIG,
+                     retry_policy: RetryPolicy = EXCHANGE_RETRY,
+                     ) -> NodeRuntime:
+    """A runtime for one side, with both identities pre-registered.
+
+    Key generation is seeded, so two separate processes derive the same
+    registry without exchanging keys (the paper's Assumption 5: keys are
+    known to everyone).
+    """
+    registry = KeyRegistry()
+    identities = {
+        a: make_identity(a, registry=registry, bits=512,
+                         seed=KEY_SEED + a)
+        for a in (ASN_A, ASN_B)
+    }
+    peer = ASN_B if asn == ASN_A else ASN_A
+    return NodeRuntime(identity=identities[asn], registry=registry,
+                       scheme=evaluation_scheme(10), transport=transport,
+                       neighbors=(peer,), config=config,
+                       retry_policy=retry_policy, retry_seed=asn)
+
+
+def run_side_a(rt: NodeRuntime,
+               pump: Optional[callable] = None) -> None:
+    """A's half of the script; ``pump`` drains a loopback hub (no-op
+    over TCP, where the OS delivers asynchronously)."""
+    pump = pump or (lambda: None)
+    rt.advance_to(T_ANNOUNCE)
+    rt.announce(ASN_B, ROUTE)
+    pump()
+    rt.wait_for_inbox(1)                 # B's ACK
+    rt.advance_to(T_ACK_SEEN)
+    # Exactly one message per step: over TCP the peer's commitment can
+    # already be queued behind the ACK (its stepped clock jumps to
+    # T_COMMIT with no wall-time gap), and draining it here would log
+    # it at the wrong scripted time.
+    rt.deliver_pending(limit=1)
+    rt.advance_to(T_COMMIT)
+    rt.commit()
+    pump()
+    rt.wait_for_inbox(1)                 # B's commitment
+    rt.advance_to(T_COMMIT_SEEN)
+    rt.deliver_pending(limit=1)
+
+
+def run_side_b(rt: NodeRuntime,
+               pump: Optional[callable] = None) -> None:
+    pump = pump or (lambda: None)
+    rt.wait_for_inbox(1)                 # A's announcement
+    rt.advance_to(T_ANNOUNCE)
+    rt.deliver_pending(limit=1)          # logs it, sends the ACK
+    pump()
+    rt.advance_to(T_COMMIT)
+    rt.commit()
+    pump()
+    rt.wait_for_inbox(1)                 # A's commitment
+    rt.advance_to(T_COMMIT_SEEN)
+    rt.deliver_pending(limit=1)
+
+
+def side_summary(rt: NodeRuntime) -> Dict[str, object]:
+    """What each side reports for comparison across transports."""
+    rt.recorder.log.verify_chain()
+    peer = ASN_B if rt.asn == ASN_A else ASN_A
+    peer_commit = rt.node.commitment_from(peer, T_COMMIT)
+    return {
+        "asn": rt.asn,
+        "log_hex": encode_log(rt.recorder.log).hex(),
+        "log_digest": log_digest(rt.recorder.log),
+        "entries": len(rt.recorder.log),
+        "own_root": rt.recorder.commitments[-1].root.hex(),
+        "peer_root": peer_commit.root.hex() if peer_commit else None,
+        "alarms": list(rt.recorder.alarms),
+        "retries": rt.delivery.retries_sent,
+    }
+
+
+# ----------------------------------------------------------------------
+# Whole-exchange drivers
+
+def run_loopback_exchange(
+        hub: Optional[LoopbackHub] = None,
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Both sides in one process over a loopback hub.
+
+    The interleaving mirrors the two-process script exactly; the hub is
+    drained at each point where TCP would have delivered in the
+    background.
+    """
+    hub = hub if hub is not None else LoopbackHub()
+    rt_a = exchange_runtime(ASN_A, hub.attach(ASN_A))
+    rt_b = exchange_runtime(ASN_B, hub.attach(ASN_B))
+
+    rt_a.advance_to(T_ANNOUNCE)
+    rt_a.announce(ASN_B, ROUTE)
+    hub.deliver_all()
+    rt_b.advance_to(T_ANNOUNCE)
+    rt_b.deliver_pending()               # B logs + ACKs
+    hub.deliver_all()
+    rt_a.advance_to(T_ACK_SEEN)
+    rt_a.deliver_pending()               # A logs the ACK
+    rt_a.advance_to(T_COMMIT)
+    rt_b.advance_to(T_COMMIT)
+    rt_a.commit()
+    rt_b.commit()
+    hub.deliver_all()
+    rt_a.advance_to(T_COMMIT_SEEN)
+    rt_b.advance_to(T_COMMIT_SEEN)
+    rt_a.deliver_pending()
+    rt_b.deliver_pending()
+    return side_summary(rt_a), side_summary(rt_b)
+
+
+def run_tcp_side(role: str, port: int, peer_port: int,
+                 host: str = "127.0.0.1") -> Dict[str, object]:
+    """One side of the exchange over real TCP (the two-process demo)."""
+    asn = ASN_A if role == "a" else ASN_B
+    peer = ASN_B if role == "a" else ASN_A
+    transport = TcpTransport(asn, host=host, port=port,
+                             peers={peer: (host, peer_port)})
+    transport.start()
+    try:
+        rt = exchange_runtime(asn, transport)
+        if role == "a":
+            run_side_a(rt)
+        else:
+            run_side_b(rt)
+        return side_summary(rt)
+    finally:
+        transport.stop()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Two-process SPIDeR exchange over localhost TCP")
+    parser.add_argument("--role", choices=("a", "b"), required=True)
+    parser.add_argument("--port", type=int, required=True,
+                        help="port this side listens on")
+    parser.add_argument("--peer-port", type=int, required=True,
+                        help="port the other side listens on")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full summary as one JSON line")
+    args = parser.parse_args(argv)
+
+    summary = run_tcp_side(args.role, args.port, args.peer_port,
+                           host=args.host)
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(f"AS {summary['asn']}: {summary['entries']} log entries, "
+              f"digest {summary['log_digest'][:16]}..., "
+              f"own root {summary['own_root'][:16]}...")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""The Transport abstraction shared by simulator and runtime.
+
+A transport moves encoded SPIDeR messages between ASes.  The
+:class:`~repro.spider.recorder.Recorder` only ever calls
+``transport(receiver, message)``, so a :class:`Transport` instance is
+directly usable wherever the recorder previously took a bare callable —
+the simulator closure, the in-process loopback hub, and real TCP all
+present the same interface.
+
+:class:`LoopbackTransport` is the hermetic implementation: messages
+really pass through the binary codec and framing layers (serialization
+bugs cannot hide), delivery order is deterministic, and a ``drop_filter``
+plus seeded latency model allow fault injection without sockets.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .codec import decode_message, encode_message
+from .framing import FrameDecoder, encode_frame
+
+#: A delivery callback: receives the decoded message object.
+ReceiveCallback = Callable[[object], None]
+
+
+class TransportError(RuntimeError):
+    """Raised when a transport cannot move a message."""
+
+
+class Transport:
+    """Base class: per-AS message egress plus receive dispatch."""
+
+    def __init__(self, asn: int):
+        self.asn = asn
+        self._receivers: List[ReceiveCallback] = []
+        #: Messages that arrived before any receiver registered.  A TCP
+        #: peer can deliver while this side is still setting up (e.g.
+        #: generating keys), and dropping those frames would deadlock
+        #: the exchange — hold them until :meth:`on_receive`.
+        self._undispatched: List[object] = []
+        self._dispatch_lock = threading.Lock()
+        #: Egress counters, kept by every implementation.
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.frames_received = 0
+        self.bytes_received = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Bring the transport up (no-op where nothing listens)."""
+
+    def stop(self) -> None:
+        """Tear the transport down; idempotent."""
+
+    # -- sending -------------------------------------------------------
+    def send(self, receiver: int, message: object) -> None:
+        raise NotImplementedError
+
+    def __call__(self, receiver: int, message: object) -> None:
+        # Recorder compatibility: a Transport is a valid transport
+        # callable.
+        self.send(receiver, message)
+
+    # -- receiving -----------------------------------------------------
+    def on_receive(self, callback: ReceiveCallback) -> None:
+        with self._dispatch_lock:
+            self._receivers.append(callback)
+            backlog, self._undispatched = self._undispatched, []
+        for message in backlog:
+            callback(message)
+
+    def _dispatch(self, message: object) -> None:
+        with self._dispatch_lock:
+            if not self._receivers:
+                self._undispatched.append(message)
+                return
+            receivers = list(self._receivers)
+        for callback in receivers:
+            callback(message)
+
+
+#: drop_filter signature: (sender, receiver, message) -> drop?
+DropFilter = Callable[[int, int, object], bool]
+
+
+class LoopbackHub:
+    """An in-process switch connecting :class:`LoopbackTransport` ends.
+
+    Every send is encoded to a real frame; deliveries decode it back, so
+    the hub exercises the same codec path as TCP.  Ordering is
+    deterministic: frames are delivered in (latency, send-sequence)
+    order, where latency is 0 by default or drawn from a seeded RNG when
+    ``max_latency`` is set — reproducible reordering for tests.
+    """
+
+    def __init__(self, seed: int = 0, min_latency: float = 0.0,
+                 max_latency: float = 0.0,
+                 drop_filter: Optional[DropFilter] = None):
+        if max_latency < min_latency:
+            raise ValueError("max_latency below min_latency")
+        self._rng = random.Random(seed)
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self.drop_filter = drop_filter
+        self._endpoints: Dict[int, "LoopbackTransport"] = {}
+        self._queue: List[Tuple[float, int, int, bytes]] = []
+        self._seq = itertools.count()
+        self.frames_dropped = 0
+
+    def attach(self, asn: int) -> "LoopbackTransport":
+        if asn in self._endpoints:
+            raise ValueError(f"AS {asn} already attached")
+        endpoint = LoopbackTransport(asn, self)
+        self._endpoints[asn] = endpoint
+        return endpoint
+
+    @property
+    def endpoints(self) -> Dict[int, "LoopbackTransport"]:
+        """Attached transports by ASN (read-only view for tests)."""
+        return dict(self._endpoints)
+
+    def _submit(self, sender: int, receiver: int, message: object,
+                frame: bytes) -> None:
+        if receiver not in self._endpoints:
+            raise TransportError(f"no endpoint for AS {receiver}")
+        if self.drop_filter is not None and \
+                self.drop_filter(sender, receiver, message):
+            self.frames_dropped += 1
+            return
+        latency = 0.0
+        if self.max_latency > 0:
+            latency = self._rng.uniform(self.min_latency,
+                                        self.max_latency)
+        heapq.heappush(self._queue,
+                       (latency, next(self._seq), receiver, frame))
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._queue)
+
+    def deliver_next(self) -> bool:
+        """Deliver the next frame; False when nothing is in flight."""
+        if not self._queue:
+            return False
+        _latency, _seq, receiver, frame = heapq.heappop(self._queue)
+        endpoint = self._endpoints.get(receiver)
+        if endpoint is None:
+            return True  # destination not attached: dropped on the floor
+        payload = endpoint._decoder.feed(frame)
+        for encoded in payload:
+            endpoint.frames_received += 1
+            endpoint.bytes_received += len(frame)
+            endpoint._dispatch(decode_message(encoded))
+        return True
+
+    def deliver_all(self) -> int:
+        delivered = 0
+        while self.deliver_next():
+            delivered += 1
+        return delivered
+
+
+class LoopbackTransport(Transport):
+    """One AS's endpoint on a :class:`LoopbackHub`."""
+
+    def __init__(self, asn: int, hub: LoopbackHub):
+        super().__init__(asn)
+        self.hub = hub
+        self._decoder = FrameDecoder()
+
+    def send(self, receiver: int, message: object) -> None:
+        frame = encode_frame(encode_message(message))
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+        self.hub._submit(self.asn, receiver, message, frame)

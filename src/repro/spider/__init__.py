@@ -10,8 +10,9 @@ from .checker import Checker, CheckReport
 from .checkpoint import RoutingState, apply_entry, replay, take_checkpoint
 from .config import SpiderConfig
 from .evidence import CommitmentEquivocationPoM, ExportEvidence, \
-    ImportEvidence, commitment_equivocation_valid, \
-    export_evidence_valid, import_evidence_valid, refute_export, \
+    ImportEvidence, MissingAckEvidence, \
+    commitment_equivocation_valid, export_evidence_valid, \
+    import_evidence_valid, missing_ack_evidence_valid, refute_export, \
     refute_import
 from .extended import ExtendedVerificationResult, producer_reannounces, \
     run_extended_verification
@@ -31,8 +32,10 @@ __all__ = [
     "RoutingState", "apply_entry", "replay", "take_checkpoint",
     "SpiderConfig",
     "CommitmentEquivocationPoM", "ExportEvidence", "ImportEvidence",
+    "MissingAckEvidence",
     "commitment_equivocation_valid", "export_evidence_valid",
-    "import_evidence_valid", "refute_export", "refute_import",
+    "import_evidence_valid", "missing_ack_evidence_valid",
+    "refute_export", "refute_import",
     "ExtendedVerificationResult", "producer_reannounces",
     "run_extended_verification",
     "GaoRexfordPromises", "GaoRexfordScheme",

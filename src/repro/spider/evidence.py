@@ -51,6 +51,55 @@ def commitment_equivocation_valid(registry: KeyRegistry,
 
 
 @dataclass(frozen=True)
+class MissingAckEvidence:
+    """The sender's record that a signed message was never acknowledged.
+
+    Section 6.2: every SPIDeR message must be acknowledged; a missing
+    ACK past T_max "raises an alarm that must be handled out of band".
+    The delivery layer (:mod:`repro.runtime.delivery`) retries with
+    backoff first; when it gives up, this record is what the operator
+    escalates — the signed message proves what was sent and to whom,
+    and the retry history shows the sender met its delivery obligation.
+
+    Unlike a PoM this is not independently transferable (a third party
+    cannot verify an absence), but the signed message pins the accused
+    receiver and the content it refuses to acknowledge.
+    """
+
+    #: The unacknowledged :class:`~repro.spider.wire.SpiderAnnounce` or
+    #: :class:`~repro.spider.wire.SpiderWithdraw`.
+    message: object
+    first_sent: float
+    #: Total transmissions, the original send included.
+    attempts: int
+    gave_up_at: float
+
+    @property
+    def accused(self) -> int:
+        return self.message.receiver
+
+    @property
+    def sender(self) -> int:
+        return self.message.sender
+
+
+def missing_ack_evidence_valid(registry: KeyRegistry,
+                               evidence: MissingAckEvidence,
+                               ack_timeout: float) -> bool:
+    """Is this a well-formed alarm?  The message must carry the sender's
+    valid signature, at least one retry must have happened, and the
+    sender must have waited out T_max before giving up."""
+    message = evidence.message
+    if not isinstance(message, (SpiderAnnounce, SpiderWithdraw)):
+        return False
+    if not message.valid(registry):
+        return False
+    if evidence.attempts < 2:
+        return False
+    return evidence.gave_up_at - evidence.first_sent >= ack_timeout
+
+
+@dataclass(frozen=True)
 class ImportEvidence:
     """Producer-held proof that the elector had accepted its route."""
 

@@ -107,7 +107,8 @@ class SpiderDeployment:
                  config: SpiderConfig = SpiderConfig(),
                  key_bits: int = 512, key_seed: int = 4242,
                  promise_factory=None, recorder_factories=None,
-                 scheme_factory=None, participants=None):
+                 scheme_factory=None, participants=None,
+                 transport_factory=None):
         """``scheme``/``promise_factory`` configure a single global class
         scheme (the paper's evaluation setup).  ``scheme_factory(asn)``
         instead gives each elector its own scheme — used with
@@ -118,9 +119,16 @@ class SpiderDeployment:
         ASes (incremental deployment, §6.7): non-participants run plain
         BGP only, and detection guarantees cover violations whose inputs
         and outputs stay within the participating subset.
+
+        ``transport_factory(deployment, asn)`` supplies each node's
+        transport; default is the built-in metered event-loop sender.
+        :func:`repro.runtime.simadapter.sim_transport_factory` plugs in
+        the runtime :class:`~repro.runtime.transport.Transport`
+        interface (messages then pass through the real binary codec).
         """
         self.network = network
         self.config = config
+        self.transport_factory = transport_factory
         self.scheme = scheme if scheme is not None else \
             evaluation_scheme()
         self._scheme_factory = scheme_factory
@@ -167,6 +175,9 @@ class SpiderDeployment:
         return self.nodes[asn]
 
     def _transport_for(self, sender: int):
+        if self.transport_factory is not None:
+            return self.transport_factory(self, sender)
+
         def send(receiver: int, message: object) -> None:
             meter = self.network.meters.get(sender)
             if meter is not None:

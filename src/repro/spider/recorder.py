@@ -114,10 +114,30 @@ class Recorder:
         self._checkpointed_at: Optional[float] = None
         self._outbox: List[_PendingItem] = []
         self._flush_scheduled = False
+        #: Pluggable observation hooks (the runtime delivery layer rides
+        #: on these; see :mod:`repro.runtime.delivery`).
+        self.sent_hooks: List[Callable[[object], None]] = []
+        self.ack_hooks: List[Callable[[SpiderAck], None]] = []
+        self.receive_hooks: List[Callable[[object], None]] = []
 
     @property
     def asn(self) -> int:
         return self.identity.asn
+
+    # ------------------------------------------------------------------
+    # Observation hooks
+
+    def add_sent_hook(self, hook: Callable[[object], None]) -> None:
+        """Called with every ack-expecting message after transmission."""
+        self.sent_hooks.append(hook)
+
+    def add_ack_hook(self, hook: Callable[["SpiderAck"], None]) -> None:
+        """Called with every valid ACK after it clears its message."""
+        self.ack_hooks.append(hook)
+
+    def add_receive_hook(self, hook: Callable[[object], None]) -> None:
+        """Called with every inbound message before it is handled."""
+        self.receive_hooks.append(hook)
 
     # ------------------------------------------------------------------
     # Mirroring the BGP flow (hooked to Speaker.on_send)
@@ -230,6 +250,9 @@ class Recorder:
                 self._awaiting_ack[message.message_hash()] = \
                     (item.timestamp, item.receiver)
             self.transport(item.receiver, message)
+            if kind is not EntryKind.SENT_ACK:
+                for hook in self.sent_hooks:
+                    hook(message)
         return len(chunk)
 
     def _underlying_for(self, route: Route) -> Optional[Signed]:
@@ -250,6 +273,8 @@ class Recorder:
             self._receive(message)
 
     def _receive(self, message: object) -> None:
+        for hook in self.receive_hooks:
+            hook(message)
         if isinstance(message, SpiderAnnounce):
             self._receive_announce(message)
         elif isinstance(message, SpiderWithdraw):
@@ -311,6 +336,8 @@ class Recorder:
         self.log.append(self.clock.now, EntryKind.RECV_ACK, ack,
                         size_bytes=ack.wire_size())
         self._awaiting_ack.pop(ack.message_hash, None)
+        for hook in self.ack_hooks:
+            hook(ack)
 
     def overdue_acks(self) -> List[Tuple[bytes, int]]:
         """Messages unacknowledged past T_max — each one is an alarm that

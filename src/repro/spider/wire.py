@@ -32,7 +32,23 @@ from ..crypto.signatures import Signed, Signer, Verifier
 
 
 def _time_bytes(t: float) -> bytes:
-    # Millisecond resolution keeps the encoding stable across replay.
+    """Canonical 8-byte timestamp used inside every signature payload.
+
+    Millisecond resolution keeps the encoding stable across replay, and
+    it is also the nonce resolution: the paper's timestamps "double as
+    nonces" (Section 6.2), so two *logically distinct* messages to the
+    same peer within the same millisecond would encode identical nonce
+    bytes and be indistinguishable as replays.  The recorder respects
+    this by stamping a whole outbox flush with one timestamp — the batch
+    is one logical burst — and deployments must not emit more than one
+    independent message per (peer, millisecond).
+
+    Timestamps are seconds since an epoch and can never be negative; a
+    negative value would wrap the unsigned encoding into a huge bogus
+    nonce, so it is rejected outright.
+    """
+    if t < 0:
+        raise ValueError(f"negative timestamp {t!r}")
     return int(round(t * 1000)).to_bytes(8, "big")
 
 

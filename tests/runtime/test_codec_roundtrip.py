@@ -1,0 +1,223 @@
+"""Property-based round-trip tests for the binary wire codec.
+
+For every message type: ``decode(encode(m)) == m`` exactly.  And the
+strictness properties the codec promises: truncated frames always raise
+:class:`CodecError`, and a corrupted frame either raises
+:class:`CodecError` or decodes to something *different* — it never
+mis-parses back into the original, and never escapes with a foreign
+exception type.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Origin, Route
+from repro.crypto.hashing import DIGEST_SIZE
+from repro.crypto.signatures import Signed
+from repro.mtt.proofs import MttBitProof, PathStep
+from repro.runtime.codec import CodecError, WIRE_VERSION, \
+    decode_message, encode_message
+from repro.spider.wire import SpiderAck, SpiderAnnounce, SpiderBitProof, \
+    SpiderCommitment, SpiderWithdraw
+
+# ----------------------------------------------------------------------
+# Strategies (signatures are structurally arbitrary bytes: the codec
+# moves envelopes, it does not verify them)
+
+asns = st.integers(min_value=1, max_value=2**32 - 1)
+#: Millisecond-grid timestamps, the codec's declared resolution.
+timestamps = st.integers(min_value=0, max_value=2**40).map(
+    lambda ms: ms / 1000.0)
+digests = st.binary(min_size=DIGEST_SIZE, max_size=DIGEST_SIZE)
+
+
+@st.composite
+def prefixes(draw):
+    length = draw(st.integers(min_value=0, max_value=32))
+    address = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    mask = ((1 << length) - 1) << (32 - length) if length else 0
+    return Prefix(address=address & mask, length=length)
+
+
+@st.composite
+def routes(draw):
+    path = draw(st.lists(asns, min_size=0, max_size=8, unique=True))
+    communities = draw(st.frozensets(
+        st.tuples(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1)),
+        max_size=4))
+    return Route(
+        prefix=draw(prefixes()),
+        as_path=tuple(path),
+        neighbor=draw(st.integers(0, 2**32 - 1)),
+        local_pref=draw(st.integers(-2**31, 2**31 - 1)),
+        med=draw(st.integers(0, 2**32 - 1)),
+        origin=draw(st.sampled_from(list(Origin))),
+        communities=communities,
+        router_id=draw(st.integers(0, 2**32 - 1)),
+    )
+
+
+@st.composite
+def signed_envelopes(draw):
+    n_batch = draw(st.integers(min_value=0, max_value=3))
+    batch = tuple(draw(digests) for _ in range(n_batch))
+    index = draw(st.integers(0, n_batch - 1)) if n_batch else 0
+    return Signed(
+        signer=draw(asns),
+        payload=draw(st.binary(max_size=64)),
+        signature=draw(st.binary(min_size=1, max_size=128)),
+        batch_digests=batch,
+        batch_index=index,
+    )
+
+
+@st.composite
+def announces(draw):
+    return SpiderAnnounce(
+        sender=draw(asns), receiver=draw(asns),
+        timestamp=draw(timestamps), route=draw(routes()),
+        underlying=draw(st.none() | signed_envelopes()),
+        route_sig=draw(signed_envelopes()),
+        envelope=draw(signed_envelopes()),
+        reannounce=draw(st.booleans()),
+    )
+
+
+@st.composite
+def withdraws(draw):
+    return SpiderWithdraw(
+        sender=draw(asns), receiver=draw(asns),
+        timestamp=draw(timestamps), prefix=draw(prefixes()),
+        envelope=draw(signed_envelopes()),
+    )
+
+
+@st.composite
+def acks(draw):
+    return SpiderAck(
+        acker=draw(asns), sender=draw(asns),
+        timestamp=draw(timestamps),
+        message_hash=draw(st.binary(max_size=40)),
+        envelope=draw(signed_envelopes()),
+    )
+
+
+@st.composite
+def commitments(draw):
+    return SpiderCommitment(
+        elector=draw(asns), commit_time=draw(timestamps),
+        root=draw(digests), envelope=draw(signed_envelopes()),
+    )
+
+
+@st.composite
+def bit_proofs(draw):
+    steps = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        n_children = draw(st.integers(min_value=1, max_value=4))
+        steps.append(PathStep(
+            child_labels=tuple(draw(digests)
+                               for _ in range(n_children)),
+            child_index=draw(st.integers(0, n_children - 1)),
+        ))
+    proof = MttBitProof(
+        prefix=draw(prefixes()),
+        class_index=draw(st.integers(0, 2**16)),
+        bit=draw(st.integers(0, 1)),
+        blinding=draw(digests),
+        steps=tuple(steps),
+    )
+    return SpiderBitProof(
+        elector=draw(asns), recipient=draw(asns),
+        commit_time=draw(timestamps), proof=proof,
+        envelope=draw(signed_envelopes()),
+    )
+
+
+messages = st.one_of(announces(), withdraws(), acks(), commitments(),
+                     bit_proofs())
+
+
+# ----------------------------------------------------------------------
+# Round trips
+
+@settings(max_examples=150, deadline=None)
+@given(messages)
+def test_roundtrip_exact(message):
+    assert decode_message(encode_message(message)) == message
+
+
+@settings(max_examples=50, deadline=None)
+@given(messages)
+def test_encoding_is_deterministic(message):
+    assert encode_message(message) == encode_message(message)
+
+
+# ----------------------------------------------------------------------
+# Strictness
+
+@settings(max_examples=100, deadline=None)
+@given(messages, st.data())
+def test_truncation_always_raises(message, data):
+    encoded = encode_message(message)
+    cut = data.draw(st.integers(min_value=0,
+                                max_value=len(encoded) - 1))
+    with pytest.raises(CodecError):
+        decode_message(encoded[:cut])
+
+
+@settings(max_examples=150, deadline=None)
+@given(messages, st.data())
+def test_corruption_never_misparses(message, data):
+    """A flipped byte either raises CodecError or yields a different
+    message — and nothing else (no IndexError, struct garbage, ...)."""
+    encoded = bytearray(encode_message(message))
+    pos = data.draw(st.integers(0, len(encoded) - 1))
+    flip = data.draw(st.integers(1, 255))
+    encoded[pos] ^= flip
+    try:
+        decoded = decode_message(bytes(encoded))
+    except CodecError:
+        return
+    assert decoded != message
+
+
+@settings(max_examples=50, deadline=None)
+@given(messages)
+def test_trailing_bytes_rejected(message):
+    with pytest.raises(CodecError):
+        decode_message(encode_message(message) + b"\x00")
+
+
+def _sample_ack():
+    return SpiderAck(acker=1, sender=2, timestamp=3.0,
+                     message_hash=b"h" * DIGEST_SIZE,
+                     envelope=Signed(signer=1, payload=b"p",
+                                     signature=b"s"))
+
+
+def test_unknown_version_rejected():
+    encoded = bytearray(encode_message(_sample_ack()))
+    encoded[0] = WIRE_VERSION + 1
+    with pytest.raises(CodecError):
+        decode_message(bytes(encoded))
+
+
+def test_unknown_tag_rejected():
+    encoded = bytearray(encode_message(_sample_ack()))
+    encoded[1] = 0x7F
+    with pytest.raises(CodecError):
+        decode_message(bytes(encoded))
+
+
+def test_non_wire_object_rejected():
+    with pytest.raises(CodecError):
+        encode_message("not a message")
+
+
+def test_negative_timestamp_rejected_on_encode():
+    import dataclasses
+    bad = dataclasses.replace(_sample_ack(), timestamp=-1.0)
+    with pytest.raises(CodecError):
+        encode_message(bad)

@@ -1,0 +1,157 @@
+"""Retry/backoff delivery and the ACK-or-evidence rule (Section 6.2).
+
+The acceptance scenario: a fault that drops every ACK must first drive
+exponential-backoff retransmissions and then, once attempts are
+exhausted *and* T_max has elapsed, produce a
+:class:`~repro.spider.evidence.MissingAckEvidence` record plus the
+recorder alarm the paper requires.
+"""
+
+import pytest
+
+from repro.runtime.delivery import RetryPolicy
+from repro.runtime.scenario import ASN_A, ASN_B, ROUTE, \
+    exchange_runtime, run_loopback_exchange
+from repro.runtime.transport import LoopbackHub
+from repro.spider.evidence import missing_ack_evidence_valid
+from repro.spider.wire import SpiderAck
+
+FAST_RETRY = RetryPolicy(initial=0.5, factor=2.0, max_delay=8.0,
+                         jitter=0.1, max_attempts=4)
+
+
+def drop_acks(_sender, _receiver, message):
+    return isinstance(message, SpiderAck)
+
+
+def run_dropped_ack_scenario():
+    """Announce from A to B while the hub eats every ACK."""
+    hub = LoopbackHub(drop_filter=drop_acks)
+    rt_a = exchange_runtime(ASN_A, hub.attach(ASN_A),
+                            retry_policy=FAST_RETRY)
+    rt_b = exchange_runtime(ASN_B, hub.attach(ASN_B),
+                            retry_policy=FAST_RETRY)
+
+    sends = []
+    transport = rt_a.recorder.transport
+    rt_a.recorder.transport = lambda receiver, message: (
+        sends.append((rt_a.clock.now, message)),
+        transport(receiver, message))[-1]
+
+    rt_a.advance_to(1.0)
+    rt_a.announce(ASN_B, ROUTE)
+    hub.deliver_all()
+    rt_b.advance_to(1.0)
+    rt_b.deliver_pending()
+
+    t = 1.0
+    while not rt_a.delivery.evidence and t < 60.0:
+        t += 0.25
+        rt_a.advance_to(t)
+        rt_b.advance_to(t)
+        hub.deliver_all()
+        rt_b.deliver_pending()
+    return rt_a, rt_b, hub, sends
+
+
+class TestDroppedAckFault:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return run_dropped_ack_scenario()
+
+    def test_retries_happened_with_growing_backoff(self, scenario):
+        rt_a, _rt_b, _hub, sends = scenario
+        assert rt_a.delivery.retries_sent == \
+            FAST_RETRY.max_attempts - 1
+        send_times = [t for t, _m in sends]
+        assert len(send_times) == FAST_RETRY.max_attempts
+        gaps = [b - a for a, b in zip(send_times, send_times[1:])]
+        # Exponential backoff: every gap strictly exceeds the previous
+        # (jitter is ±10%, factor is 2 — the order cannot flip).
+        assert all(later > earlier
+                   for earlier, later in zip(gaps, gaps[1:]))
+
+    def test_retransmissions_carry_the_same_message(self, scenario):
+        _rt_a, _rt_b, _hub, sends = scenario
+        hashes = {m.message_hash() for _t, m in sends}
+        assert len(hashes) == 1
+
+    def test_evidence_surfaces_after_t_max(self, scenario):
+        rt_a, _rt_b, _hub, _sends = scenario
+        assert len(rt_a.delivery.evidence) == 1
+        evidence = rt_a.delivery.evidence[0]
+        assert evidence.accused == ASN_B
+        assert evidence.attempts == FAST_RETRY.max_attempts
+        assert evidence.gave_up_at - evidence.first_sent >= \
+            rt_a.config.ack_timeout
+        assert missing_ack_evidence_valid(
+            rt_a.node.registry, evidence, rt_a.config.ack_timeout)
+
+    def test_recorder_alarm_raised(self, scenario):
+        rt_a, _rt_b, _hub, _sends = scenario
+        assert any("no ack from AS12" in alarm
+                   for alarm in rt_a.recorder.alarms)
+
+    def test_acks_really_were_dropped(self, scenario):
+        _rt_a, _rt_b, hub, _sends = scenario
+        assert hub.frames_dropped == FAST_RETRY.max_attempts
+
+    def test_receiver_saw_every_retransmission(self, scenario):
+        _rt_a, rt_b, _hub, _sends = scenario
+        from repro.spider.log import EntryKind
+        received = rt_b.recorder.log.of_kind(EntryKind.RECV_ANNOUNCE)
+        assert len(received) == FAST_RETRY.max_attempts
+
+
+class TestAckCancelsRetry:
+    def test_clean_exchange_never_retransmits(self):
+        summary_a, summary_b = run_loopback_exchange()
+        assert summary_a["retries"] == 0
+        assert summary_a["alarms"] == []
+        assert summary_b["alarms"] == []
+
+
+class TestRetryPolicy:
+    def test_delay_grows_and_caps(self):
+        import random
+        policy = RetryPolicy(initial=1.0, factor=2.0, max_delay=4.0,
+                             jitter=0.0, max_attempts=10)
+        rng = random.Random(0)
+        delays = [policy.delay(n, rng) for n in range(1, 6)]
+        assert delays == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_jitter_is_bounded(self):
+        import random
+        policy = RetryPolicy(initial=1.0, jitter=0.25)
+        rng = random.Random(7)
+        for n in range(1, 20):
+            delay = policy.delay(1, rng)
+            assert 0.75 <= delay <= 1.25
+
+    @pytest.mark.parametrize("kwargs", [
+        {"initial": 0.0}, {"factor": 0.5}, {"jitter": 1.0},
+        {"jitter": -0.1}, {"max_attempts": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_premature_alarm_is_deferred_past_t_max(self):
+        """Attempts can run out before T_max; the alarm must still wait
+        out the full ack_timeout before accusing anyone."""
+        hub = LoopbackHub(drop_filter=drop_acks)
+        quick = RetryPolicy(initial=0.1, factor=1.5, max_delay=0.5,
+                            jitter=0.0, max_attempts=2)
+        rt_a = exchange_runtime(ASN_A, hub.attach(ASN_A),
+                                retry_policy=quick)
+        hub.attach(ASN_B)  # present but silent: never ACKs
+        rt_a.advance_to(1.0)
+        rt_a.announce(ASN_B, ROUTE)
+        # Attempts exhausted long before T_max = 10 s...
+        rt_a.advance_to(5.0)
+        assert rt_a.delivery.evidence == []
+        # ...the evidence only lands once T_max has truly elapsed.
+        rt_a.advance_to(11.5)
+        assert len(rt_a.delivery.evidence) == 1
+        evidence = rt_a.delivery.evidence[0]
+        assert evidence.gave_up_at - evidence.first_sent >= 10.0

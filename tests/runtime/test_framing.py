@@ -1,0 +1,55 @@
+"""Frame encoding and incremental stream reassembly."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.framing import FrameDecoder, FramingError, \
+    LENGTH_BYTES, MAX_FRAME_SIZE, encode_frame
+
+
+class TestEncodeFrame:
+    def test_layout(self):
+        assert encode_frame(b"abc") == b"\x00\x00\x00\x03abc"
+
+    def test_empty_payload_allowed(self):
+        assert encode_frame(b"") == b"\x00\x00\x00\x00"
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(FramingError):
+            encode_frame(b"x" * (MAX_FRAME_SIZE + 1))
+
+
+class TestFrameDecoder:
+    def test_single_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"hello")) == [b"hello"]
+        assert decoder.buffered == 0
+
+    def test_oversized_length_prefix_rejected(self):
+        decoder = FrameDecoder(max_frame=16)
+        with pytest.raises(FramingError):
+            decoder.feed((17).to_bytes(LENGTH_BYTES, "big"))
+
+    def test_partial_then_complete(self):
+        decoder = FrameDecoder()
+        frame = encode_frame(b"split me")
+        assert decoder.feed(frame[:3]) == []
+        assert decoder.buffered == 3
+        assert decoder.feed(frame[3:]) == [b"split me"]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.binary(max_size=64), min_size=1, max_size=8),
+           st.data())
+    def test_any_chunking_reassembles(self, payloads, data):
+        """However the byte stream is sliced, the same frames come out
+        in the same order."""
+        stream = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        pos = 0
+        while pos < len(stream):
+            step = data.draw(st.integers(1, len(stream) - pos))
+            out += decoder.feed(stream[pos:pos + step])
+            pos += step
+        assert out == payloads
+        assert decoder.buffered == 0

@@ -1,0 +1,218 @@
+"""Transport implementations: loopback determinism, real TCP, and the
+simulator adapter's equivalence with the legacy deployment closure."""
+
+import pytest
+
+from repro.bgp.prefix import Prefix
+from repro.netsim.network import Network, TraceEvent
+from repro.netsim.topology import figure5_topology
+from repro.runtime.scenario import ASN_A, ASN_B, run_loopback_exchange
+from repro.runtime.simadapter import SimTransport, sim_transport_factory
+from repro.runtime.tcp import TcpTransport
+from repro.runtime.transport import LoopbackHub, TransportError
+from repro.spider.config import SpiderConfig
+from repro.spider.node import SPIDER_TRAFFIC, SpiderDeployment, \
+    evaluation_scheme
+from repro.spider.wire import SpiderAnnounce
+
+
+class TestLoopbackExchange:
+    """The canonical exchange over the in-process hub — the baseline
+    every other transport must reproduce byte for byte."""
+
+    @pytest.fixture(scope="class")
+    def summaries(self):
+        return run_loopback_exchange()
+
+    def test_logs_are_deterministic_across_runs(self, summaries):
+        again = run_loopback_exchange()
+        assert summaries[0]["log_hex"] == again[0]["log_hex"]
+        assert summaries[1]["log_hex"] == again[1]["log_hex"]
+
+    def test_commitment_roots_cross_agree(self, summaries):
+        summary_a, summary_b = summaries
+        assert summary_a["peer_root"] == summary_b["own_root"]
+        assert summary_b["peer_root"] == summary_a["own_root"]
+
+    def test_no_alarms_in_clean_exchange(self, summaries):
+        assert summaries[0]["alarms"] == []
+        assert summaries[1]["alarms"] == []
+
+    def test_frames_were_counted(self):
+        hub = LoopbackHub()
+        summaries = run_loopback_exchange(hub)
+        assert summaries[0]["entries"] > 0
+        # announce + ack + two commitments crossed the hub
+        endpoints = hub.endpoints
+        sent = sum(t.frames_sent for t in endpoints.values())
+        received = sum(t.frames_received for t in endpoints.values())
+        assert sent == received == 4
+
+
+class TestLoopbackHub:
+    def test_latency_ordering_is_seed_deterministic(self):
+        """With random latencies, delivery *order* is a pure function
+        of the seed."""
+
+        def delivery_order(seed):
+            hub = LoopbackHub(seed=seed, min_latency=0.0,
+                              max_latency=0.5)
+            order = []
+            t_a = hub.attach(1)
+            hub.attach(2).on_receive(lambda m: order.append(("b", m)))
+            hub.attach(3).on_receive(lambda m: order.append(("c", m)))
+            for i in range(6):
+                t_a.send(2 if i % 2 else 3, _announce_stub(i))
+            hub.deliver_all()
+            return [(who, m.timestamp) for who, m in order]
+
+        first = delivery_order(42)
+        assert delivery_order(42) == first
+        assert delivery_order(43) != first
+
+    def test_drop_filter_counts(self):
+        hub = LoopbackHub(drop_filter=lambda s, r, m: True)
+        sink = []
+        t_a = hub.attach(1)
+        hub.attach(2).on_receive(sink.append)
+        t_a.send(2, _announce_stub(0))
+        hub.deliver_all()
+        assert sink == []
+        assert hub.frames_dropped == 1
+
+    def test_unknown_receiver_rejected(self):
+        hub = LoopbackHub()
+        t_a = hub.attach(1)
+        with pytest.raises(TransportError):
+            t_a.send(99, _announce_stub(0))
+
+
+class TestTcpSmoke:
+    """Localhost TCP with both endpoints in one process: frames survive
+    the real socket path (encode → kernel → decode → dispatch)."""
+
+    def test_message_crosses_a_real_socket(self):
+        received = []
+        server = TcpTransport(2)
+        server.on_receive(received.append)
+        server.start()
+        client = TcpTransport(1, peers={2: ("127.0.0.1", server.port)})
+        client.start()
+        try:
+            message = _announce_stub(3)
+            client.send(2, message)
+            _wait_until(lambda: received, timeout=10.0)
+            assert received[0] == message
+            assert client.frames_sent == 1
+            assert server.frames_received == 1
+        finally:
+            client.stop()
+            server.stop()
+
+    def test_send_to_unknown_peer_raises(self):
+        transport = TcpTransport(1)
+        transport.start()
+        try:
+            with pytest.raises(TransportError):
+                transport.send(99, _announce_stub(0))
+        finally:
+            transport.stop()
+
+    def test_send_before_start_raises(self):
+        transport = TcpTransport(1, peers={2: ("127.0.0.1", 1)})
+        with pytest.raises(TransportError):
+            transport.send(2, _announce_stub(0))
+
+    def test_frames_arriving_before_receiver_are_buffered(self):
+        """A peer can deliver while this side is still setting up (key
+        generation in a fresh process); early frames must wait for
+        on_receive, not vanish — dropping one deadlocks the exchange."""
+        server = TcpTransport(2)
+        server.start()
+        client = TcpTransport(1, peers={2: ("127.0.0.1", server.port)})
+        client.start()
+        try:
+            message = _announce_stub(5)
+            client.send(2, message)
+            _wait_until(lambda: server.frames_received, timeout=10.0)
+            received = []
+            server.on_receive(received.append)  # registered *after*
+            assert received == [message]
+        finally:
+            client.stop()
+            server.stop()
+
+
+class TestSimAdapterEquivalence:
+    """SpiderDeployment over SimTransport must behave exactly like the
+    legacy closure: same commitment roots, same metered traffic."""
+
+    P = Prefix.parse("198.51.100.0/24")
+
+    def run_deployment(self, transport_factory=None):
+        network = Network(figure5_topology())
+        deployment = SpiderDeployment(
+            network, scheme=evaluation_scheme(6),
+            config=SpiderConfig(commit_interval=60.0),
+            transport_factory=transport_factory)
+        network.attach_feed(2, feed_asn=65000)
+        network.schedule_trace(65000, [
+            TraceEvent(1.0, self.P, (65000, 4000)),
+        ])
+        deployment.start(until=65.0)
+        network.run_until(70.0)
+        return network, deployment
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        baseline = self.run_deployment()
+        adapted = self.run_deployment(sim_transport_factory)
+        return baseline, adapted
+
+    def test_commitment_roots_identical(self, pair):
+        (_, base_dep), (_, sim_dep) = pair
+        for asn, node in base_dep.nodes.items():
+            base_roots = [c.root for c in node.recorder.commitments]
+            sim_roots = [c.root for c in
+                         sim_dep.nodes[asn].recorder.commitments]
+            assert base_roots == sim_roots, f"AS {asn} roots diverge"
+
+    def test_metered_traffic_identical(self, pair):
+        (base_net, _), (sim_net, _) = pair
+        for asn in base_net.meters:
+            assert base_net.meter(asn).total(SPIDER_TRAFFIC) == \
+                sim_net.meter(asn).total(SPIDER_TRAFFIC), \
+                f"AS {asn} SPIDeR bytes diverge"
+
+    def test_adapter_reports_honest_frame_bytes(self, pair):
+        _, (_, sim_dep) = pair
+        transports = [node.recorder.transport
+                      for node in sim_dep.nodes.values()]
+        assert all(isinstance(t, SimTransport) for t in transports)
+        active = [t for t in transports if t.frames_sent]
+        assert active, "no SPIDeR traffic crossed the adapter"
+        for transport in active:
+            assert transport.frame_bytes == transport.bytes_sent > 0
+
+
+# ----------------------------------------------------------------------
+
+def _announce_stub(i):
+    """A structurally valid (unsigned) announce for transport tests."""
+    from repro.bgp.route import Route
+    from repro.crypto.signatures import Signed
+    route = Route(prefix=Prefix.parse("192.0.2.0/24"),
+                  as_path=(1, 4000), neighbor=4000)
+    envelope = Signed(signer=1, payload=b"p", signature=b"s")
+    return SpiderAnnounce(sender=1, receiver=2, timestamp=float(i),
+                          route=route, underlying=None,
+                          route_sig=envelope, envelope=envelope)
+
+
+def _wait_until(predicate, timeout):
+    import time
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError("condition not met in time")
+        time.sleep(0.01)

@@ -1,0 +1,74 @@
+"""The headline acceptance test: one SPIDeR exchange between two real
+OS processes over localhost TCP produces evidence logs byte-identical
+to the same exchange on the in-process loopback transport."""
+
+import json
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.scenario import ASN_A, ASN_B, run_loopback_exchange
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def run_two_processes():
+    port_a, port_b = free_port(), free_port()
+
+    def spawn(role, port, peer_port):
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.runtime.scenario",
+             "--role", role, "--port", str(port),
+             "--peer-port", str(peer_port), "--json"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"}, text=True)
+
+    proc_a = spawn("a", port_a, port_b)
+    proc_b = spawn("b", port_b, port_a)
+    out_a, err_a = proc_a.communicate(timeout=120)
+    out_b, err_b = proc_b.communicate(timeout=120)
+    assert proc_a.returncode == 0, f"side A failed:\n{err_a}"
+    assert proc_b.returncode == 0, f"side B failed:\n{err_b}"
+    return json.loads(out_a), json.loads(out_b)
+
+
+@pytest.fixture(scope="module")
+def tcp_and_loopback():
+    tcp = run_two_processes()
+    loopback = run_loopback_exchange()
+    return tcp, loopback
+
+
+def test_processes_complete_the_exchange(tcp_and_loopback):
+    (tcp_a, tcp_b), _ = tcp_and_loopback
+    assert tcp_a["asn"] == ASN_A and tcp_b["asn"] == ASN_B
+    assert tcp_a["entries"] > 0 and tcp_b["entries"] > 0
+    assert tcp_a["alarms"] == [] and tcp_b["alarms"] == []
+
+
+def test_commitment_roots_cross_agree_over_tcp(tcp_and_loopback):
+    (tcp_a, tcp_b), _ = tcp_and_loopback
+    assert tcp_a["peer_root"] == tcp_b["own_root"]
+    assert tcp_b["peer_root"] == tcp_a["own_root"]
+
+
+def test_tcp_logs_byte_identical_to_loopback(tcp_and_loopback):
+    """The acceptance criterion: same exchange, two transports, two OS
+    processes vs. one — the canonical log bytes must match exactly."""
+    (tcp_a, tcp_b), (loop_a, loop_b) = tcp_and_loopback
+    assert tcp_a["log_hex"] == loop_a["log_hex"]
+    assert tcp_b["log_hex"] == loop_b["log_hex"]
+
+
+def test_clean_tcp_run_never_retransmits(tcp_and_loopback):
+    (tcp_a, tcp_b), _ = tcp_and_loopback
+    assert tcp_a["retries"] == 0 and tcp_b["retries"] == 0

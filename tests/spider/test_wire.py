@@ -85,6 +85,14 @@ class TestSpiderAnnounce:
         b = SpiderAnnounce.make(Signer(alice), 12, 11.0, route(), None)
         assert a.message_hash() != b.message_hash()
 
+    def test_negative_timestamp_rejected(self, alice):
+        """Timestamps double as nonces; a negative one has no place on
+        the millisecond grid and must fail fast at signing time."""
+        with pytest.raises(ValueError, match="negative timestamp"):
+            SpiderAnnounce.make(Signer(alice), receiver=12,
+                                timestamp=-0.001, route=route(),
+                                underlying=None)
+
     def test_wire_size_counts_signatures(self, alice, bob):
         plain = SpiderAnnounce.make(Signer(alice), 12, 10.0, route(),
                                     None)
