@@ -32,6 +32,8 @@ from repro.crypto.rc4 import Rc4Csprng  # noqa: E402
 from repro.harness.experiments import run_replay_experiment  # noqa: E402
 from repro.mtt.labeling import label_tree, label_tree_parallel  # noqa: E402
 from repro.mtt.tree import Mtt  # noqa: E402
+from repro.obs.export import snapshot  # noqa: E402
+from repro.obs.registry import Registry, use_registry  # noqa: E402
 from repro.traces.workload import generate_prefixes  # noqa: E402
 
 N_PREFIXES = 2000
@@ -103,25 +105,33 @@ def measure_cache_hit_rate(neighbors: int = 8) -> float:
 
 
 def main() -> None:
-    tree = build_tree()
-    census = tree.census()
-    report = {
-        "workload": {
-            "n_prefixes": N_PREFIXES,
-            "k": K,
-            "nodes_total": census.total,
-            "hashes_per_round": census.bit + census.prefix + census.inner,
-        },
-        "cores": os.cpu_count(),
-        "seed_baseline": SEED_BASELINE,
-        "serial": measure_serial(tree),
-        "pool": measure_pool(tree),
-        "proofgen_cache_hit_rate": round(measure_cache_hit_rate(), 4),
-    }
-    out_path = os.path.join(os.path.dirname(__file__), "..",
-                            "BENCH_commit.json")
-    with open(out_path, "w") as handle:
+    # The whole run reports into a fresh obs registry, whose snapshot is
+    # written next to the BENCH json for cost attribution
+    # (``python -m repro.obs.dump --snapshot BENCH_commit_obs.json``).
+    with use_registry(Registry()) as registry:
+        tree = build_tree()
+        census = tree.census()
+        report = {
+            "workload": {
+                "n_prefixes": N_PREFIXES,
+                "k": K,
+                "nodes_total": census.total,
+                "hashes_per_round":
+                    census.bit + census.prefix + census.inner,
+            },
+            "cores": os.cpu_count(),
+            "seed_baseline": SEED_BASELINE,
+            "serial": measure_serial(tree),
+            "pool": measure_pool(tree),
+            "proofgen_cache_hit_rate": round(measure_cache_hit_rate(), 4),
+        }
+        obs_snapshot = snapshot(registry)
+    root = os.path.join(os.path.dirname(__file__), "..")
+    with open(os.path.join(root, "BENCH_commit.json"), "w") as handle:
         json.dump(report, handle, indent=2)
+        handle.write("\n")
+    with open(os.path.join(root, "BENCH_commit_obs.json"), "w") as handle:
+        json.dump(obs_snapshot, handle, indent=2)
         handle.write("\n")
     json.dump(report, sys.stdout, indent=2)
     print()

@@ -32,6 +32,8 @@ from repro.crypto.signatures import Signer  # noqa: E402
 from repro.runtime.codec import decode_message, \
     encode_message  # noqa: E402
 from repro.runtime.framing import encode_frame  # noqa: E402
+from repro.obs.export import snapshot  # noqa: E402
+from repro.obs.registry import Registry, use_registry  # noqa: E402
 from repro.runtime.tcp import TcpTransport  # noqa: E402
 from repro.runtime.transport import LoopbackHub  # noqa: E402
 from repro.spider.wire import SpiderAck, SpiderAnnounce, \
@@ -146,20 +148,27 @@ def paper_crosscheck(codec):
 
 
 def main():
-    messages = sample_messages()
-    codec = measure_codec(messages)
-    report = {
-        "iterations": {"codec": CODEC_ITERATIONS,
-                       "transport": TRANSPORT_MESSAGES},
-        "codec": codec,
-        "loopback": measure_loopback(messages),
-        "tcp": measure_tcp(messages),
-        "section_7_6": paper_crosscheck(codec),
-    }
-    out = os.path.join(os.path.dirname(__file__), "..",
-                       "BENCH_runtime.json")
-    with open(out, "w") as fh:
+    # Reports into a fresh obs registry; the snapshot lands next to the
+    # BENCH json (render it with
+    # ``python -m repro.obs.dump --snapshot BENCH_runtime_obs.json``).
+    with use_registry(Registry()) as registry:
+        messages = sample_messages()
+        codec = measure_codec(messages)
+        report = {
+            "iterations": {"codec": CODEC_ITERATIONS,
+                           "transport": TRANSPORT_MESSAGES},
+            "codec": codec,
+            "loopback": measure_loopback(messages),
+            "tcp": measure_tcp(messages),
+            "section_7_6": paper_crosscheck(codec),
+        }
+        obs_snapshot = snapshot(registry)
+    root = os.path.join(os.path.dirname(__file__), "..")
+    with open(os.path.join(root, "BENCH_runtime.json"), "w") as fh:
         json.dump(report, fh, indent=2)
+        fh.write("\n")
+    with open(os.path.join(root, "BENCH_runtime_obs.json"), "w") as fh:
+        json.dump(obs_snapshot, fh, indent=2)
         fh.write("\n")
     print(json.dumps(report, indent=2))
 

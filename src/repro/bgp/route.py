@@ -146,6 +146,12 @@ class Route:
         pos = 5
         n_path = data[pos]
         pos += 1
+        # Bounds-check before reading: a truncated encoding must fail as
+        # ValueError (which the codec maps to CodecError), never as an
+        # IndexError from indexing past the end, and never by letting a
+        # short slice silently decode as a smaller integer.
+        if len(data) < pos + 4 * n_path + 15:
+            raise ValueError("route encoding truncated")
         path = tuple(int.from_bytes(data[pos + 4 * i:pos + 4 * i + 4], "big")
                      for i in range(n_path))
         pos += 4 * n_path
@@ -159,6 +165,8 @@ class Route:
         pos += 4
         n_comm = int.from_bytes(data[pos:pos + 2], "big")
         pos += 2
+        if len(data) < pos + 4 * n_comm:
+            raise ValueError("route encoding truncated")
         comms = frozenset(
             (int.from_bytes(data[pos + 4 * i:pos + 4 * i + 2], "big"),
              int.from_bytes(data[pos + 4 * i + 2:pos + 4 * i + 4], "big"))

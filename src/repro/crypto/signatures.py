@@ -19,10 +19,12 @@ independently verifiable, exactly like a tiny Merkle authentication list.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from . import rsa
+from ..obs.registry import Registry, get_registry
 from .hashing import digest, digest_fields
 from .keys import Identity, KeyRegistry
 
@@ -89,23 +91,43 @@ class CryptoStats:
 
 
 class Signer:
-    """Signs payloads on behalf of one AS identity."""
+    """Signs payloads on behalf of one AS identity.
+
+    Besides the legacy :class:`CryptoStats` counters, every operation is
+    published to the instrumentation registry: ``signatures_made_total``
+    / ``payloads_signed_total`` counters, a ``sign_seconds`` duration
+    histogram, and a ``sign_batch_size`` histogram recording how well
+    Nagle batching amortizes RSA operations (Section 6.2 / 7.5).
+    """
 
     def __init__(self, identity: Identity,
-                 stats: Optional[CryptoStats] = None):
+                 stats: Optional[CryptoStats] = None,
+                 registry: Optional[Registry] = None):
         self.identity = identity
         self.stats = stats if stats is not None else CryptoStats()
+        self._registry = registry if registry is not None \
+            else get_registry()
 
     @property
     def asn(self) -> int:
         return self.identity.asn
 
+    def _observe(self, payloads: int, seconds: float) -> None:
+        node = f"as{self.asn}"
+        self._registry.counter("signatures_made_total", node=node).inc()
+        self._registry.counter("payloads_signed_total",
+                               node=node).inc(payloads)
+        self._registry.histogram("sign_seconds").observe(seconds)
+        self._registry.histogram("sign_batch_size").observe(payloads)
+
     def sign(self, payload: bytes) -> Signed:
         """Sign a single payload."""
+        start = time.perf_counter()
         signature = rsa.sign(self.identity.private_key,
                              _single_root(self.asn, payload))
         self.stats.signatures_made += 1
         self.stats.payloads_signed += 1
+        self._observe(1, time.perf_counter() - start)
         return Signed(signer=self.asn, payload=payload, signature=signature)
 
     def sign_batch(self, payloads: Sequence[bytes]) -> List[Signed]:
@@ -118,11 +140,13 @@ class Signer:
             return []
         if len(payloads) == 1:
             return [self.sign(payloads[0])]
+        start = time.perf_counter()
         digests = tuple(digest(p) for p in payloads)
         signature = rsa.sign(self.identity.private_key,
                              _batch_root(self.asn, digests))
         self.stats.signatures_made += 1
         self.stats.payloads_signed += len(payloads)
+        self._observe(len(payloads), time.perf_counter() - start)
         return [
             Signed(signer=self.asn, payload=p, signature=signature,
                    batch_digests=digests, batch_index=i)
@@ -131,26 +155,45 @@ class Signer:
 
 
 class Verifier:
-    """Verifies :class:`Signed` envelopes against a key registry."""
+    """Verifies :class:`Signed` envelopes against a key registry.
+
+    Publishes ``signatures_checked_total`` (labeled by outcome) and a
+    ``verify_seconds`` histogram alongside the legacy counters.
+    """
 
     def __init__(self, registry: KeyRegistry,
-                 stats: Optional[CryptoStats] = None):
+                 stats: Optional[CryptoStats] = None,
+                 obs_registry: Optional[Registry] = None):
         self.registry = registry
         self.stats = stats if stats is not None else CryptoStats()
+        self._obs = obs_registry if obs_registry is not None \
+            else get_registry()
 
     def verify(self, signed: Signed) -> bool:
         """Check attribution and signature; False on any mismatch."""
         if not self.registry.knows(signed.signer):
+            self._obs.counter("signatures_checked_total",
+                              outcome="unknown_signer").inc()
             return False
         if signed.batch_digests:
             if not 0 <= signed.batch_index < len(signed.batch_digests):
+                self._obs.counter("signatures_checked_total",
+                                  outcome="bad_batch").inc()
                 return False
             if digest(signed.payload) != \
                     signed.batch_digests[signed.batch_index]:
+                self._obs.counter("signatures_checked_total",
+                                  outcome="bad_batch").inc()
                 return False
         self.stats.signatures_checked += 1
-        return rsa.verify(self.registry.public_key(signed.signer),
-                          signed.signed_bytes(), signed.signature)
+        start = time.perf_counter()
+        ok = rsa.verify(self.registry.public_key(signed.signer),
+                        signed.signed_bytes(), signed.signature)
+        self._obs.histogram("verify_seconds").observe(
+            time.perf_counter() - start)
+        self._obs.counter("signatures_checked_total",
+                          outcome="valid" if ok else "invalid").inc()
+        return ok
 
 
 class BatchSigner:

@@ -43,8 +43,26 @@ from typing import List, Optional, Tuple
 
 from ..crypto.hashing import DIGEST_SIZE, bit_commitment, digest_concat
 from ..crypto.rc4 import Rc4Csprng
+from ..obs.registry import get_registry
 from .nodes import BitNode, DummyNode, InnerNode, MttNode, PrefixNode
 from .tree import Mtt
+
+
+def _observe_labeling(mode: str, seconds: float, hashes: int,
+                      jobs: int, workers: int) -> None:
+    """Publish one labeling run to the instrumentation registry.
+
+    Feeds the Section 7.5 cost attribution: ``mtt_label_seconds`` is the
+    wall-clock of the hash phase (bucketed by pool mode), and the pool
+    gauges record how the work was spread over the paper's ``c``
+    commitment workers.
+    """
+    registry = get_registry()
+    registry.counter("mtt_labelings_total", mode=mode).inc()
+    registry.counter("mtt_hashes_total").inc(hashes)
+    registry.histogram("mtt_label_seconds", mode=mode).observe(seconds)
+    registry.gauge("mtt_pool_workers").set(workers)
+    registry.gauge("mtt_pool_jobs").set(jobs)
 
 
 def assign_randomness(tree: Mtt, csprng: Rc4Csprng) -> None:
@@ -158,6 +176,7 @@ def label_tree(tree: Mtt, csprng: Rc4Csprng) -> LabelingReport:
     seconds = time.perf_counter() - start
     # One hash per bit node and per interior node (dummies are free).
     hashes = census.bit + census.prefix + census.inner
+    _observe_labeling("serial", seconds, hashes, jobs=1, workers=1)
     return LabelingReport(root_label=root_label, seconds=seconds,
                           hash_count=hashes)
 
@@ -278,19 +297,22 @@ def label_tree_parallel(tree: Mtt, csprng: Rc4Csprng, workers: int,
     start = time.perf_counter()
     if workers == 1:
         root_label = _hash_pass(tree)
+        seconds = time.perf_counter() - start
+        _observe_labeling("serial", seconds, hashes, jobs=1, workers=1)
         return ParallelLabelReport(
-            root_label=root_label, workers=1,
-            seconds=time.perf_counter() - start, hash_count=hashes,
-            mode="serial", jobs=1)
+            root_label=root_label, workers=1, seconds=seconds,
+            hash_count=hashes, mode="serial", jobs=1)
 
     jobs = _top_level_jobs(tree, cut_depth)
     tasks = [_encode_subtree(job) for job in jobs]
     mode = _run_pool(tasks, workers, prefer_processes)
     root_label = compute_label(tree.root)  # merge the upper remainder
+    seconds = time.perf_counter() - start
+    _observe_labeling(mode, seconds, hashes, jobs=len(jobs),
+                      workers=workers)
     return ParallelLabelReport(
-        root_label=root_label, workers=workers,
-        seconds=time.perf_counter() - start, hash_count=hashes,
-        mode=mode, jobs=len(jobs))
+        root_label=root_label, workers=workers, seconds=seconds,
+        hash_count=hashes, mode=mode, jobs=len(jobs))
 
 
 def _run_pool(tasks, workers: int, prefer_processes: bool) -> str:
@@ -392,12 +414,16 @@ def parallel_labeling_report(tree: Mtt, csprng: Rc4Csprng, workers: int,
     assign_randomness(tree, csprng)
     jobs = _top_level_jobs(tree, fanout_depth)
 
+    registry = get_registry()
+    subtree_histogram = registry.histogram("mtt_subtree_seconds")
     job_times: List[float] = []
     start_all = time.perf_counter()
     for job in jobs:
         start = time.perf_counter()
         compute_label(job)
-        job_times.append(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        job_times.append(elapsed)
+        subtree_histogram.observe(elapsed)
     # Remaining (upper) nodes: label whatever has no label yet.
     merge_start = time.perf_counter()
     root_label = compute_label(tree.root)
@@ -409,6 +435,11 @@ def parallel_labeling_report(tree: Mtt, csprng: Rc4Csprng, workers: int,
     for job_time in sorted(job_times, reverse=True):
         bins[bins.index(min(bins))] += job_time
     makespan = max(bins) + merge_seconds
+    if makespan > 0:
+        # Modeled pool utilization: fraction of worker-seconds doing
+        # hash work under the greedy schedule (1.0 = perfectly packed).
+        registry.gauge("mtt_pool_utilization").set(
+            sequential / (workers * makespan))
     return ParallelReport(root_label=root_label, workers=workers,
                           sequential_seconds=sequential,
                           makespan_seconds=makespan,

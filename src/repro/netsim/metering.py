@@ -4,34 +4,70 @@ The evaluation attributes costs to categories: Section 7.5 splits CPU
 time into signatures / MTT labeling / other; Section 7.6 splits traffic
 into BGP vs. SPIDeR vs. verification; Section 7.7 tracks storage growth.
 These meters are the common instruments every experiment uses.
+
+Since the :mod:`repro.obs` layer landed, the meters are thin **views
+over the instrumentation registry**: every ``record``/``section`` call
+writes a named registry metric (``traffic_bytes_total``,
+``cpu_seconds_total``, ``storage_bytes_total``), and the dict-shaped
+properties the Section 7 experiment code reads (``bytes_by_category``,
+``seconds_by_section``, ``bytes_by_kind``) are reconstructed from the
+registry on access.  Each meter instance carries a unique ``instance``
+label, so independent meters never share cells, while process-wide
+aggregation (the dump CLI, the exporters) sums across instances by
+metric name and category label.  An optional ``node`` label ("as5")
+attributes a meter's numbers to one AS in the shared snapshot.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..obs.registry import Registry, get_registry, next_instance_id
 
-@dataclass
+
 class TrafficMeter:
     """Byte counters per category with optional time-bucketing.
 
-    ``record(category, nbytes, at)`` is called by links; ``rate`` turns a
-    window into bits-per-second, matching the paper's kbps reporting.
+    ``record(category, nbytes, at)`` is called by links; ``rate_bps``
+    turns a window into bits-per-second, matching the paper's kbps
+    reporting.  Counters live in the obs registry under
+    ``traffic_bytes_total{instance=..., node=..., category=...}``;
+    timestamped samples (needed for windowed rates) stay local to the
+    meter.
     """
 
-    bytes_by_category: Dict[str, int] = field(default_factory=dict)
-    samples: List[Tuple[float, str, int]] = field(default_factory=list)
-    keep_samples: bool = True
+    def __init__(self, registry: Optional[Registry] = None,
+                 node: str = ""):
+        self._registry = registry if registry is not None \
+            else get_registry()
+        self.node = node
+        self._instance = next_instance_id("traffic")
+        self._counters: Dict[str, object] = {}
+        self.samples: List[Tuple[float, str, int]] = []
+        self.keep_samples = True
+
+    def _counter(self, category: str):
+        counter = self._counters.get(category)
+        if counter is None:
+            counter = self._registry.counter(
+                "traffic_bytes_total", instance=self._instance,
+                node=self.node, category=category)
+            self._counters[category] = counter
+        return counter
+
+    @property
+    def bytes_by_category(self) -> Dict[str, int]:
+        """Registry view: accumulated bytes per category."""
+        return self._registry.label_values(
+            "traffic_bytes_total", "category", instance=self._instance)
 
     def record(self, category: str, nbytes: int,
                at: Optional[float] = None) -> None:
         if nbytes < 0:
             raise ValueError("byte count must be non-negative")
-        self.bytes_by_category[category] = \
-            self.bytes_by_category.get(category, 0) + nbytes
+        self._counter(category).inc(nbytes)
         if self.keep_samples and at is not None:
             self.samples.append((at, category, nbytes))
 
@@ -41,25 +77,62 @@ class TrafficMeter:
         return self.bytes_by_category.get(category, 0)
 
     def rate_bps(self, category: str, start: float, end: float) -> float:
-        """Average send rate in bits/second over [start, end]."""
+        """Average send rate in bits/second over the half-open window
+        ``[start, end)``.
+
+        Half-open so adjacent windows tile without double-counting: a
+        sample exactly on the boundary belongs to the *later* window
+        only.
+        """
         if end <= start:
             raise ValueError("window must have positive length")
         total = sum(n for t, c, n in self.samples
-                    if c == category and start <= t <= end)
+                    if c == category and start <= t < end)
         return total * 8 / (end - start)
 
 
-@dataclass
 class CpuMeter:
     """Named-section CPU accounting (the getrusage stand-in).
 
     Sections are measured with :meth:`section` around real computation;
-    because the simulator executes everything inline, the sum of sections
-    is the simulated AS's compute cost.
+    because the simulator executes everything inline, the sum of
+    sections is the simulated AS's compute cost.  Seconds and call
+    counts live in the registry (``cpu_seconds_total`` /
+    ``cpu_calls_total``); per-section durations additionally feed the
+    log-bucketed ``cpu_section_seconds`` histogram.
     """
 
-    seconds_by_section: Dict[str, float] = field(default_factory=dict)
-    calls_by_section: Dict[str, int] = field(default_factory=dict)
+    def __init__(self, registry: Optional[Registry] = None,
+                 node: str = ""):
+        self._registry = registry if registry is not None \
+            else get_registry()
+        self.node = node
+        self._instance = next_instance_id("cpu")
+        self._cells: Dict[str, tuple] = {}
+
+    def _section_cells(self, name: str):
+        cells = self._cells.get(name)
+        if cells is None:
+            labels = {"instance": self._instance, "node": self.node,
+                      "section": name}
+            cells = (
+                self._registry.counter("cpu_seconds_total", **labels),
+                self._registry.counter("cpu_calls_total", **labels),
+                self._registry.histogram("cpu_section_seconds",
+                                         **labels),
+            )
+            self._cells[name] = cells
+        return cells
+
+    @property
+    def seconds_by_section(self) -> Dict[str, float]:
+        return self._registry.label_values(
+            "cpu_seconds_total", "section", instance=self._instance)
+
+    @property
+    def calls_by_section(self) -> Dict[str, int]:
+        return self._registry.label_values(
+            "cpu_calls_total", "section", instance=self._instance)
 
     @contextmanager
     def section(self, name: str) -> Iterator[None]:
@@ -67,18 +140,14 @@ class CpuMeter:
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.seconds_by_section[name] = \
-                self.seconds_by_section.get(name, 0.0) + elapsed
-            self.calls_by_section[name] = \
-                self.calls_by_section.get(name, 0) + 1
+            self.add(name, time.perf_counter() - start)
 
     def add(self, name: str, seconds: float, calls: int = 1) -> None:
         """Record externally measured time (e.g. a labeling report)."""
-        self.seconds_by_section[name] = \
-            self.seconds_by_section.get(name, 0.0) + seconds
-        self.calls_by_section[name] = \
-            self.calls_by_section.get(name, 0) + calls
+        seconds_cell, calls_cell, histogram = self._section_cells(name)
+        seconds_cell.inc(seconds)
+        calls_cell.inc(calls)
+        histogram.observe(seconds)
 
     def total(self) -> float:
         return sum(self.seconds_by_section.values())
@@ -89,16 +158,38 @@ class CpuMeter:
             else 0.0
 
 
-@dataclass
 class StorageMeter:
-    """Byte counters for durable state (log, snapshots, seeds)."""
+    """Byte counters for durable state (log, snapshots, seeds).
 
-    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    A registry view over ``storage_bytes_total{kind=...}``.
+    """
+
+    def __init__(self, registry: Optional[Registry] = None,
+                 node: str = ""):
+        self._registry = registry if registry is not None \
+            else get_registry()
+        self.node = node
+        self._instance = next_instance_id("storage")
+        self._counters: Dict[str, object] = {}
+
+    def _counter(self, kind: str):
+        counter = self._counters.get(kind)
+        if counter is None:
+            counter = self._registry.counter(
+                "storage_bytes_total", instance=self._instance,
+                node=self.node, kind=kind)
+            self._counters[kind] = counter
+        return counter
+
+    @property
+    def bytes_by_kind(self) -> Dict[str, int]:
+        return self._registry.label_values(
+            "storage_bytes_total", "kind", instance=self._instance)
 
     def record(self, kind: str, nbytes: int) -> None:
         if nbytes < 0:
             raise ValueError("byte count must be non-negative")
-        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + nbytes
+        self._counter(kind).inc(nbytes)
 
     def total(self, kind: Optional[str] = None) -> int:
         if kind is None:

@@ -61,7 +61,7 @@ class Network:
             for neighbor in relations:
                 speaker.add_neighbor(neighbor)
             self.speakers[asn] = speaker
-            self.meters[asn] = TrafficMeter()
+            self.meters[asn] = TrafficMeter(node=f"as{asn}")
 
     def speaker(self, asn: int) -> Speaker:
         return self.speakers[asn]

@@ -1,0 +1,198 @@
+"""Cost-attribution dump: render a registry snapshot in the paper's
+Section 7 categories.
+
+``python -m repro.obs.dump`` runs the canonical two-node scenario
+(:mod:`repro.runtime.scenario`) over loopback inside a fresh registry
+and prints the cost table the evaluation sections report:
+
+* **§7.5 CPU** — seconds split into signatures / MTT labeling / other
+  (other = message handling minus its nested signature work, exactly as
+  :meth:`repro.harness.experiments.ReplayResult.cpu_breakdown` computes
+  it), with shares;
+* **§7.6 traffic** — bytes by category (BGP vs. SPIDeR vs. proof
+  traffic) plus transport frame counts;
+* **§7.7 storage** — durable bytes by kind (log, commitments,
+  checkpoints).
+
+``--snapshot FILE`` renders a previously exported JSON snapshot instead
+(e.g. the ``BENCH_*_obs.json`` files the benchmarks write), and
+``--format json|prom`` emits the raw exporter output for piping.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from .export import snapshot as export_snapshot, to_json, to_prometheus
+from .registry import Registry, use_registry
+
+
+# ----------------------------------------------------------------------
+# Snapshot aggregation (works on the exported dict, so a file snapshot
+# and a live registry render identically)
+
+def counter_by_label(snap: dict, name: str, label: str
+                     ) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for entry in snap.get("counters", ()):
+        if entry["name"] != name:
+            continue
+        key = entry["labels"].get(label)
+        if key is None:
+            continue
+        out[key] = out.get(key, 0) + entry["value"]
+    return out
+
+
+def counter_total(snap: dict, name: str) -> float:
+    return sum(entry["value"] for entry in snap.get("counters", ())
+               if entry["name"] == name)
+
+
+def cpu_attribution(snap: dict) -> Dict[str, float]:
+    """§7.5: signatures / mtt / other from the CPU section counters."""
+    sections = counter_by_label(snap, "cpu_seconds_total", "section")
+    signatures = sections.get("signatures", 0.0)
+    mtt = sections.get("mtt", 0.0)
+    handling = sections.get("handling", 0.0)
+    other = max(0.0, handling - signatures)
+    # Sections outside the recorder's three (future layers may add
+    # their own) count as "other" too.
+    for name, seconds in sections.items():
+        if name not in ("signatures", "mtt", "handling"):
+            other += seconds
+    return {"signatures": signatures, "mtt": mtt, "other": other}
+
+
+def traffic_attribution(snap: dict) -> Dict[str, float]:
+    return counter_by_label(snap, "traffic_bytes_total", "category")
+
+
+def storage_attribution(snap: dict) -> Dict[str, float]:
+    return counter_by_label(snap, "storage_bytes_total", "kind")
+
+
+# ----------------------------------------------------------------------
+# Rendering
+
+def _table(title: str, rows: List[Tuple[str, str]]) -> str:
+    width = max((len(name) for name, _ in rows), default=0)
+    lines = [title, "-" * len(title)]
+    lines += [f"{name.ljust(width)}  {value}" for name, value in rows]
+    return "\n".join(lines)
+
+
+def render_cost_table(snap: dict) -> str:
+    blocks: List[str] = []
+
+    cpu = cpu_attribution(snap)
+    total = sum(cpu.values())
+    rows = []
+    for name in ("signatures", "mtt", "other"):
+        seconds = cpu[name]
+        share = seconds / total * 100 if total else 0.0
+        rows.append((name, f"{seconds * 1000:10.2f} ms  {share:5.1f} %"))
+    rows.append(("total", f"{total * 1000:10.2f} ms  100.0 %"))
+    blocks.append(_table("CPU attribution (paper §7.5)", rows))
+
+    traffic = traffic_attribution(snap)
+    if traffic:
+        rows = [(category, f"{int(nbytes):>10} B")
+                for category, nbytes in sorted(traffic.items())]
+        blocks.append(_table("Traffic by category (paper §7.6)", rows))
+    frames = counter_total(snap, "transport_frames_sent_total")
+    frame_bytes = counter_total(snap, "transport_bytes_sent_total")
+    if frames:
+        blocks.append(_table("Transport egress", [
+            ("frames", f"{int(frames):>10}"),
+            ("bytes", f"{int(frame_bytes):>10} B"),
+        ]))
+
+    storage = storage_attribution(snap)
+    if storage:
+        rows = [(kind, f"{int(nbytes):>10} B")
+                for kind, nbytes in sorted(storage.items())]
+        blocks.append(_table("Durable storage by kind (paper §7.7)",
+                             rows))
+
+    sigs = counter_total(snap, "signatures_made_total")
+    checked = counter_total(snap, "signatures_checked_total")
+    payloads = counter_total(snap, "payloads_signed_total")
+    if sigs or checked:
+        blocks.append(_table("Signature operations", [
+            ("made", f"{int(sigs):>10}"),
+            ("payloads covered", f"{int(payloads):>10}"),
+            ("checked", f"{int(checked):>10}"),
+        ]))
+
+    spans = snap.get("spans", ())
+    if spans:
+        rows = [(s["name"],
+                 f"[{s['start']:9.3f}, {s['end']:9.3f}]s "
+                 f"{s['labels'].get('node', '')}")
+                for s in spans[:20]]
+        blocks.append(_table("Trace spans (component clocks)", rows))
+    return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Snapshot sources
+
+def scenario_snapshot() -> dict:
+    """Run the two-node loopback exchange inside a fresh registry."""
+    with use_registry(Registry()) as registry:
+        from ..runtime.scenario import run_loopback_exchange
+        run_loopback_exchange()
+        return export_snapshot(registry)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.dump",
+        description="Render a repro.obs registry snapshot as the "
+                    "paper's Section 7 cost-attribution table")
+    parser.add_argument("--snapshot", metavar="FILE",
+                        help="read an exported JSON snapshot instead of "
+                             "running the two-node scenario")
+    parser.add_argument("--scenario", choices=("loopback",),
+                        default="loopback",
+                        help="workload to run when no snapshot is given")
+    parser.add_argument("--format", choices=("table", "json", "prom"),
+                        default="table")
+    args = parser.parse_args(argv)
+
+    if args.snapshot:
+        with open(args.snapshot) as handle:
+            snap = json.load(handle)
+    else:
+        if args.format in ("json", "prom"):
+            # Re-run inside a fresh registry and emit the raw export.
+            with use_registry(Registry()) as registry:
+                from ..runtime.scenario import run_loopback_exchange
+                run_loopback_exchange()
+                if args.format == "json":
+                    print(to_json(registry))
+                else:
+                    sys.stdout.write(to_prometheus(registry))
+            return 0
+        snap = scenario_snapshot()
+
+    if args.format == "prom":
+        raise SystemExit(
+            "--format prom requires a live run (omit --snapshot)")
+    try:
+        if args.format == "json":
+            print(json.dumps(snap, indent=2))
+        else:
+            print(render_cost_table(snap))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: not an error.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

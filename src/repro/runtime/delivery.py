@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..obs.registry import get_registry
 from ..spider.evidence import MissingAckEvidence
 from ..spider.recorder import Recorder, Scheduler
 from ..spider.wire import SpiderAck
@@ -52,11 +53,12 @@ class RetryPolicy:
             raise ValueError("max_attempts must be at least 1")
 
     def delay(self, retry_number: int, rng: random.Random) -> float:
-        base = min(self.initial * self.factor ** (retry_number - 1),
-                   self.max_delay)
+        base = self.initial * self.factor ** (retry_number - 1)
         if self.jitter:
             base *= rng.uniform(1 - self.jitter, 1 + self.jitter)
-        return base
+        # Clamp *after* jittering: max_delay is a hard ceiling, so the
+        # jitter draw must never push a delay past it.
+        return min(base, self.max_delay)
 
 
 @dataclass
@@ -92,6 +94,21 @@ class DeliveryService:
         self.evidence: List[MissingAckEvidence] = []
         self.retries_sent = 0
         self.acks_matched = 0
+        # Registry mirrors of the counters above, plus the backoff
+        # histogram, all attributed to this recorder's AS.
+        obs = get_registry()
+        node = f"as{recorder.identity.asn}"
+        self._retries_counter = obs.counter("delivery_retries_total",
+                                            node=node)
+        self._acks_counter = obs.counter("delivery_acks_matched_total",
+                                         node=node)
+        self._giveups_counter = obs.counter("delivery_give_ups_total",
+                                            node=node)
+        self._tracked_counter = obs.counter("delivery_tracked_total",
+                                            node=node)
+        self._pending_gauge = obs.gauge("delivery_pending", node=node)
+        self._backoff_histogram = obs.histogram("retry_backoff_seconds",
+                                                node=node)
         recorder.add_sent_hook(self._on_sent)
         recorder.add_ack_hook(self._on_ack)
 
@@ -108,11 +125,15 @@ class DeliveryService:
                                 receiver=message.receiver,
                                 first_sent=now, history=[now])
         self.pending[message_hash] = entry
+        self._tracked_counter.inc()
+        self._pending_gauge.set(len(self.pending))
         self._schedule_retry(message_hash, retry_number=1)
 
     def _on_ack(self, ack: SpiderAck) -> None:
         if self.pending.pop(ack.message_hash, None) is not None:
             self.acks_matched += 1
+            self._acks_counter.inc()
+            self._pending_gauge.set(len(self.pending))
 
     # ------------------------------------------------------------------
     # Retry machinery
@@ -120,6 +141,7 @@ class DeliveryService:
     def _schedule_retry(self, message_hash: bytes,
                         retry_number: int) -> None:
         delay = self.policy.delay(retry_number, self.rng)
+        self._backoff_histogram.observe(delay)
         self.schedule(delay, lambda: self._retry(message_hash))
 
     def _retry(self, message_hash: bytes) -> None:
@@ -140,18 +162,22 @@ class DeliveryService:
         entry.attempts += 1
         entry.history.append(now)
         self.retries_sent += 1
+        self._retries_counter.inc()
         self.recorder.transport(entry.receiver, entry.message)
         self._schedule_retry(message_hash, retry_number=entry.attempts)
 
     def _give_up(self, message_hash: bytes, entry: PendingDelivery,
                  now: float) -> None:
         del self.pending[message_hash]
+        self._giveups_counter.inc()
+        self._pending_gauge.set(len(self.pending))
         evidence = MissingAckEvidence(message=entry.message,
                                       first_sent=entry.first_sent,
                                       attempts=entry.attempts,
                                       gave_up_at=now)
         self.evidence.append(evidence)
-        self.recorder.alarms.append(
+        self.recorder.alarm(
+            "missing_ack",
             f"no ack from AS{entry.receiver} after "
             f"{entry.attempts} attempts over "
             f"{now - entry.first_sent:.1f}s")

@@ -35,18 +35,42 @@ def encode_frame(payload: bytes) -> bytes:
 
 
 class FrameDecoder:
-    """Incremental frame reassembly over an arbitrary chunking."""
+    """Incremental frame reassembly over an arbitrary chunking.
+
+    A framing violation is not recoverable: the stream has lost byte
+    alignment, so there is no safe way to resynchronize.  The first
+    :class:`FramingError` therefore *poisons* the decoder — every later
+    :meth:`feed` raises immediately with a clear diagnosis instead of
+    stumbling over the stale buffer.  (Before this existed, the
+    oversized length prefix stayed buffered and every subsequent feed
+    re-raised the original error as if the new chunk were at fault.)
+    The owner must drop the connection and build a fresh decoder.
+    """
 
     def __init__(self, max_frame: int = MAX_FRAME_SIZE):
         self.max_frame = max_frame
         self._buffer = bytearray()
+        self._poison: str = ""
 
     @property
     def buffered(self) -> int:
         return len(self._buffer)
 
+    @property
+    def poisoned(self) -> bool:
+        """True once a framing violation has killed this decoder."""
+        return bool(self._poison)
+
+    def _poison_with(self, reason: str) -> "FramingError":
+        self._poison = reason
+        return FramingError(reason)
+
     def feed(self, data: bytes) -> List[bytes]:
         """Absorb a chunk; return every frame it completed, in order."""
+        if self._poison:
+            raise FramingError(
+                f"decoder poisoned by earlier framing error "
+                f"({self._poison}); open a new stream")
         self._buffer += data
         frames: List[bytes] = []
         while True:
@@ -54,7 +78,7 @@ class FrameDecoder:
                 break
             length = int.from_bytes(self._buffer[:LENGTH_BYTES], "big")
             if length > self.max_frame:
-                raise FramingError(
+                raise self._poison_with(
                     f"frame length {length} exceeds {self.max_frame}")
             if len(self._buffer) < LENGTH_BYTES + length:
                 break

@@ -56,14 +56,27 @@ class StepClock:
 
 
 class WallClock:
-    """Wall-clock time, optionally offset to start near zero."""
+    """Wall-clock time, optionally offset to start near zero.
+
+    ``now`` is derived from :func:`time.monotonic` plus a wall offset
+    captured once at construction — never from :func:`time.time`
+    directly.  ``time.time()`` can step backwards (NTP corrections,
+    manual clock changes), and a backwards step would produce
+    out-of-order evidence-log timestamps, which the tamper-evident log
+    treats as suspect.  With the captured offset, timestamps stay on the
+    wall timeline (loose synchronization across recorders still holds,
+    Section 6.4) but can never run backwards within a process.
+    """
 
     def __init__(self, rebase: bool = True):
-        self._epoch = time.time() if rebase else 0.0
+        mono = time.monotonic()
+        # now == (monotonic - epoch): zero-based when rebasing,
+        # anchored to the construction-time wall clock otherwise.
+        self._epoch = mono if rebase else mono - time.time()
 
     @property
     def now(self) -> float:
-        return time.time() - self._epoch
+        return time.monotonic() - self._epoch
 
 
 class TimerWheel:

@@ -23,6 +23,7 @@ import asyncio
 import threading
 from typing import Dict, Optional, Tuple
 
+from ..obs.registry import get_registry
 from .codec import CodecError, decode_message, encode_message
 from .framing import FrameDecoder, FramingError, encode_frame
 from .transport import Transport, TransportError
@@ -57,6 +58,12 @@ class TcpTransport(Transport):
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
         self._stopped = False
+        #: High-water mark of the per-peer outbound queues: how close
+        #: the bounded backpressure came to blocking the producer.
+        self._queue_depth_gauge = get_registry().gauge(
+            "tcp_queue_depth", node=f"as{asn}")
+        self._decode_errors_counter = get_registry().counter(
+            "tcp_decode_errors_total", node=f"as{asn}")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -134,8 +141,7 @@ class TcpTransport(Transport):
             self._enqueue(receiver, frame), self._loop)
         # Bounded backpressure: blocks here while the peer queue is full.
         future.result(timeout=self.connect_timeout + 60.0)
-        self.frames_sent += 1
-        self.bytes_sent += len(frame)
+        self._note_sent(len(frame))
 
     async def _enqueue(self, receiver: int, frame: bytes) -> None:
         queue = self._queues.get(receiver)
@@ -145,6 +151,7 @@ class TcpTransport(Transport):
             self._writer_tasks[receiver] = \
                 asyncio.ensure_future(self._writer(receiver, queue))
         await queue.put(frame)
+        self._queue_depth_gauge.set(queue.qsize())
 
     async def _writer(self, receiver: int, queue: asyncio.Queue) -> None:
         host, port = self.peers[receiver]
@@ -197,15 +204,16 @@ class TcpTransport(Transport):
                     frames = decoder.feed(chunk)
                 except FramingError:
                     self.decode_errors += 1
+                    self._decode_errors_counter.inc()
                     break  # corrupt stream: drop the connection
                 for frame in frames:
                     try:
                         message = decode_message(frame)
                     except CodecError:
                         self.decode_errors += 1
+                        self._decode_errors_counter.inc()
                         continue
-                    self.frames_received += 1
-                    self.bytes_received += len(frame) + 4
+                    self._note_received(len(frame) + 4)
                     self._dispatch(message)
         finally:
             writer.close()

@@ -21,6 +21,7 @@ import random
 import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.registry import get_registry
 from .codec import decode_message, encode_message
 from .framing import FrameDecoder, encode_frame
 
@@ -49,6 +50,33 @@ class Transport:
         self.bytes_sent = 0
         self.frames_received = 0
         self.bytes_received = 0
+        # Registry mirrors (shared across implementations so the dump
+        # CLI attributes wire traffic per AS and transport kind).
+        obs = get_registry()
+        labels = {"node": f"as{asn}",
+                  "transport": type(self).__name__}
+        self._frames_sent_counter = obs.counter(
+            "transport_frames_sent_total", **labels)
+        self._bytes_sent_counter = obs.counter(
+            "transport_bytes_sent_total", **labels)
+        self._frames_received_counter = obs.counter(
+            "transport_frames_received_total", **labels)
+        self._bytes_received_counter = obs.counter(
+            "transport_bytes_received_total", **labels)
+
+    def _note_sent(self, nbytes: int) -> None:
+        """Account one egress frame (attrs + registry, kept in step)."""
+        self.frames_sent += 1
+        self.bytes_sent += nbytes
+        self._frames_sent_counter.inc()
+        self._bytes_sent_counter.inc(nbytes)
+
+    def _note_received(self, nbytes: int) -> None:
+        """Account one ingress frame."""
+        self.frames_received += 1
+        self.bytes_received += nbytes
+        self._frames_received_counter.inc()
+        self._bytes_received_counter.inc(nbytes)
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -153,8 +181,7 @@ class LoopbackHub:
             return True  # destination not attached: dropped on the floor
         payload = endpoint._decoder.feed(frame)
         for encoded in payload:
-            endpoint.frames_received += 1
-            endpoint.bytes_received += len(frame)
+            endpoint._note_received(len(frame))
             endpoint._dispatch(decode_message(encoded))
         return True
 
@@ -175,6 +202,5 @@ class LoopbackTransport(Transport):
 
     def send(self, receiver: int, message: object) -> None:
         frame = encode_frame(encode_message(message))
-        self.frames_sent += 1
-        self.bytes_sent += len(frame)
+        self._note_sent(len(frame))
         self.hub._submit(self.asn, receiver, message, frame)

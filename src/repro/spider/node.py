@@ -73,7 +73,8 @@ class SpiderNode:
             key = (message.elector, message.commit_time)
             if key in self.received_commitments and \
                     self.received_commitments[key].root != message.root:
-                self.recorder.alarms.append(
+                self.recorder.alarm(
+                    "equivocation",
                     f"equivocating commitment from AS{message.elector}")
             self.received_commitments[key] = message
             return

@@ -28,7 +28,8 @@ from ..crypto.rc4 import Rc4Csprng
 from ..crypto.signatures import Signed, Signer, Verifier
 from ..mtt.labeling import label_tree_with_workers
 from ..mtt.tree import Mtt
-from ..netsim.metering import CpuMeter
+from ..netsim.metering import CpuMeter, StorageMeter
+from ..obs.registry import get_registry
 from .checkpoint import RoutingState, apply_entry, elector_view, \
     take_checkpoint
 from .config import SpiderConfig
@@ -99,7 +100,10 @@ class Recorder:
         self.transport = transport
         self.schedule = schedule
         self.master_seed = master_seed
-        self.cpu = cpu if cpu is not None else CpuMeter()
+        node = f"as{identity.asn}"
+        self._obs = get_registry()
+        self.cpu = cpu if cpu is not None else CpuMeter(node=node)
+        self.storage = StorageMeter(node=node)
         self.signer = Signer(identity)
         self.verifier = Verifier(registry)
         self.log = SpiderLog(retention_seconds=config.retention_seconds)
@@ -138,6 +142,30 @@ class Recorder:
     def add_receive_hook(self, hook: Callable[[object], None]) -> None:
         """Called with every inbound message before it is handled."""
         self.receive_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Instrumented primitives
+
+    def alarm(self, reason: str, text: str) -> None:
+        """Raise one out-of-band alarm (Section 6.2) and count it under
+        ``spider_alarms_total{reason=...}``."""
+        self.alarms.append(text)
+        self._obs.counter("spider_alarms_total", node=f"as{self.asn}",
+                          reason=reason).inc()
+
+    #: Section 7.7 reports commitments and checkpoints separately from
+    #: the message log proper; everything else is plain log growth.
+    _STORAGE_KINDS = {EntryKind.COMMITMENT: "commitments",
+                      EntryKind.CHECKPOINT: "checkpoints"}
+
+    def _log_append(self, timestamp: float, kind: EntryKind,
+                    message: object, size_bytes: int):
+        """Append to the tamper-evident log, metering durable growth
+        (the Section 7.7 storage accounting rides on every append)."""
+        self.storage.record(self._STORAGE_KINDS.get(kind, "log"),
+                            size_bytes)
+        return self.log.append(timestamp, kind, message,
+                               size_bytes=size_bytes)
 
     # ------------------------------------------------------------------
     # Mirroring the BGP flow (hooked to Speaker.on_send)
@@ -243,8 +271,8 @@ class Recorder:
                     timestamp=item.timestamp,
                     message_hash=item.message_hash, envelope=envelope)
                 kind = EntryKind.SENT_ACK
-            entry = self.log.append(item.timestamp, kind, message,
-                                    size_bytes=message.wire_size())
+            entry = self._log_append(item.timestamp, kind, message,
+                                     size_bytes=message.wire_size())
             apply_entry(self.state, self.asn, entry)
             if kind is not EntryKind.SENT_ACK:
                 self._awaiting_ack[message.message_hash()] = \
@@ -284,8 +312,8 @@ class Recorder:
         elif isinstance(message, SpiderCommitment):
             pass  # stored by the checker side (node.py wires this)
         else:
-            self.alarms.append(f"unknown message type "
-                               f"{type(message).__name__}")
+            self.alarm("unknown_message", f"unknown message type "
+                       f"{type(message).__name__}")
 
     def _timestamp_plausible(self, timestamp: float) -> bool:
         return abs(timestamp - self.clock.now) <= \
@@ -295,15 +323,15 @@ class Recorder:
         with self.cpu.section("signatures"):
             ok = message.valid(self.registry)
         if not ok or message.receiver != self.asn:
-            self.alarms.append(
-                f"invalid announce from AS{message.sender}")
+            self.alarm("invalid_announce",
+                       f"invalid announce from AS{message.sender}")
             return
         if not self._timestamp_plausible(message.timestamp):
-            self.alarms.append(
-                f"stale timestamp from AS{message.sender}")
+            self.alarm("stale_timestamp",
+                       f"stale timestamp from AS{message.sender}")
             return
-        entry = self.log.append(self.clock.now, EntryKind.RECV_ANNOUNCE,
-                                message, size_bytes=message.wire_size())
+        entry = self._log_append(self.clock.now, EntryKind.RECV_ANNOUNCE,
+                                 message, size_bytes=message.wire_size())
         apply_entry(self.state, self.asn, entry)
         # Remember the sender's inner signature: when we export a route
         # derived from this import, it becomes our σ_P(r').
@@ -315,11 +343,11 @@ class Recorder:
         with self.cpu.section("signatures"):
             ok = message.valid(self.registry)
         if not ok or message.receiver != self.asn:
-            self.alarms.append(
-                f"invalid withdraw from AS{message.sender}")
+            self.alarm("invalid_withdraw",
+                       f"invalid withdraw from AS{message.sender}")
             return
-        entry = self.log.append(self.clock.now, EntryKind.RECV_WITHDRAW,
-                                message, size_bytes=message.wire_size())
+        entry = self._log_append(self.clock.now, EntryKind.RECV_WITHDRAW,
+                                 message, size_bytes=message.wire_size())
         apply_entry(self.state, self.asn, entry)
         self._send_ack(message.sender, message.message_hash())
 
@@ -331,10 +359,10 @@ class Recorder:
         with self.cpu.section("signatures"):
             ok = ack.valid(self.registry)
         if not ok:
-            self.alarms.append(f"invalid ack from AS{ack.acker}")
+            self.alarm("invalid_ack", f"invalid ack from AS{ack.acker}")
             return
-        self.log.append(self.clock.now, EntryKind.RECV_ACK, ack,
-                        size_bytes=ack.wire_size())
+        self._log_append(self.clock.now, EntryKind.RECV_ACK, ack,
+                         size_bytes=ack.wire_size())
         self._awaiting_ack.pop(ack.message_hash, None)
         for hook in self.ack_hooks:
             hook(ack)
@@ -396,20 +424,22 @@ class Recorder:
         """Build, sign, log, and broadcast one commitment."""
         self.flush_outbox()  # the commitment must cover queued messages
         commit_time = self.clock.now
-        entries = self.mtt_entries(self.state)
-        with self.cpu.section("mtt"):
-            tree = Mtt.build(entries)
-            report = label_tree_with_workers(
-                tree, Rc4Csprng(self.commitment_seed(commit_time)),
-                workers=self.config.commit_workers,
-                cut_depth=self.config.label_cut_depth)
-        with self.cpu.section("signatures"):
-            message = SpiderCommitment.make(self.signer, commit_time,
-                                            report.root_label)
+        with self._obs.span("commitment", self.clock,
+                            node=f"as{self.asn}"):
+            entries = self.mtt_entries(self.state)
+            with self.cpu.section("mtt"):
+                tree = Mtt.build(entries)
+                report = label_tree_with_workers(
+                    tree, Rc4Csprng(self.commitment_seed(commit_time)),
+                    workers=self.config.commit_workers,
+                    cut_depth=self.config.label_cut_depth)
+            with self.cpu.section("signatures"):
+                message = SpiderCommitment.make(self.signer, commit_time,
+                                                report.root_label)
         seed = self.commitment_seed(commit_time)
-        self.log.append(commit_time, EntryKind.COMMITMENT,
-                        {"seed": seed, "root": report.root_label},
-                        size_bytes=len(seed) + 12)
+        self._log_append(commit_time, EntryKind.COMMITMENT,
+                         {"seed": seed, "root": report.root_label},
+                         size_bytes=len(seed) + 12)
         record = CommitmentRecord(commit_time=commit_time,
                                   root=report.root_label, message=message,
                                   census_total=tree.census().total)

@@ -127,3 +127,14 @@ class TestEncoding:
     def test_truncated_rejected(self):
         with pytest.raises(ValueError):
             Route.from_bytes(b"\x00")
+
+    @given(route_strategy(), st.data())
+    def test_every_truncation_raises_value_error(self, r, data):
+        """Cutting a valid encoding anywhere must fail as ValueError —
+        never IndexError (regression: truncating just before the origin
+        byte used to index past the end) and never a silent misparse
+        from a short slice decoding as a smaller integer."""
+        encoded = r.to_bytes()
+        cut = data.draw(st.integers(0, len(encoded) - 1))
+        with pytest.raises(ValueError):
+            Route.from_bytes(encoded[:cut])

@@ -132,8 +132,25 @@ class TestTrafficMeter:
     def test_rate_bps(self):
         meter = TrafficMeter()
         meter.record("bgp", 1000, at=0.0)
-        meter.record("bgp", 1000, at=10.0)
+        meter.record("bgp", 1000, at=5.0)
         assert meter.rate_bps("bgp", 0.0, 10.0) == pytest.approx(1600.0)
+
+    def test_rate_window_is_half_open(self):
+        """A sample exactly on the window end belongs to the *next*
+        window, so adjacent windows tile without double-counting
+        (regression: the window used to be inclusive on both ends,
+        counting boundary samples twice)."""
+        meter = TrafficMeter()
+        meter.record("bgp", 1000, at=0.0)
+        meter.record("bgp", 1000, at=10.0)
+        first = meter.rate_bps("bgp", 0.0, 10.0)
+        second = meter.rate_bps("bgp", 10.0, 20.0)
+        assert first == pytest.approx(800.0)   # boundary sample excluded
+        assert second == pytest.approx(800.0)  # ...and counted once here
+        # The two half-windows carry exactly what the covering window
+        # carries — no byte counted twice.
+        whole = meter.rate_bps("bgp", 0.0, 20.0)
+        assert (first + second) * 10 == pytest.approx(whole * 20)
 
     def test_rate_window_filter(self):
         meter = TrafficMeter()

@@ -1,0 +1,122 @@
+"""The cost-attribution dump: §7 aggregation and the CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.obs.dump import cpu_attribution, main, render_cost_table, \
+    scenario_snapshot, storage_attribution, traffic_attribution
+
+
+def fabricated_snapshot() -> dict:
+    return {
+        "schema": 1,
+        "counters": [
+            {"name": "cpu_seconds_total",
+             "labels": {"section": "handling"}, "value": 5.0},
+            {"name": "cpu_seconds_total",
+             "labels": {"section": "signatures"}, "value": 3.0},
+            {"name": "cpu_seconds_total",
+             "labels": {"section": "mtt"}, "value": 2.0},
+            {"name": "cpu_seconds_total",
+             "labels": {"section": "proofgen"}, "value": 0.5},
+            {"name": "traffic_bytes_total",
+             "labels": {"category": "bgp"}, "value": 100},
+            {"name": "traffic_bytes_total",
+             "labels": {"category": "spider"}, "value": 300},
+            {"name": "storage_bytes_total",
+             "labels": {"kind": "log"}, "value": 4096},
+        ],
+        "gauges": [], "histograms": [], "spans": [],
+    }
+
+
+class TestAttribution:
+    def test_cpu_categories(self):
+        cpu = cpu_attribution(fabricated_snapshot())
+        assert cpu["signatures"] == 3.0
+        assert cpu["mtt"] == 2.0
+        # other = (handling - nested signatures) + non-standard sections
+        assert cpu["other"] == pytest.approx(2.5)
+
+    def test_handling_below_signatures_clamps_to_zero(self):
+        snap = {"schema": 1, "counters": [
+            {"name": "cpu_seconds_total",
+             "labels": {"section": "handling"}, "value": 1.0},
+            {"name": "cpu_seconds_total",
+             "labels": {"section": "signatures"}, "value": 4.0},
+        ], "gauges": [], "histograms": [], "spans": []}
+        assert cpu_attribution(snap)["other"] == 0.0
+
+    def test_traffic_and_storage(self):
+        snap = fabricated_snapshot()
+        assert traffic_attribution(snap) == {"bgp": 100, "spider": 300}
+        assert storage_attribution(snap) == {"log": 4096}
+
+
+class TestRenderedTable:
+    def test_sections_present(self):
+        text = render_cost_table(fabricated_snapshot())
+        assert "CPU attribution (paper §7.5)" in text
+        assert "signatures" in text and "mtt" in text and "other" in text
+        assert "Traffic by category (paper §7.6)" in text
+        assert "Durable storage by kind (paper §7.7)" in text
+
+    def test_shares_sum_to_hundred(self):
+        text = render_cost_table(fabricated_snapshot())
+        assert "100.0 %" in text
+
+
+class TestScenarioSnapshot:
+    """Acceptance: one loopback run of the two-node scenario yields a
+    snapshot whose CPU shares render in the §7.5 categories."""
+
+    @pytest.fixture(scope="class")
+    def snap(self):
+        return scenario_snapshot()
+
+    def test_cpu_attribution_is_nontrivial(self, snap):
+        cpu = cpu_attribution(snap)
+        assert set(cpu) == {"signatures", "mtt", "other"}
+        assert cpu["signatures"] > 0
+        assert cpu["mtt"] > 0
+
+    def test_exchange_metrics_present(self, snap):
+        names = {entry["name"] for entry in snap["counters"]}
+        assert "signatures_made_total" in names
+        assert "mtt_hashes_total" in names
+        assert "transport_frames_sent_total" in names
+        assert "storage_bytes_total" in names
+        assert "delivery_acks_matched_total" in names
+
+    def test_commitment_spans_recorded(self, snap):
+        commits = [s for s in snap["spans"] if s["name"] == "commitment"]
+        assert len(commits) == 2  # one per node
+        nodes = {s["labels"]["node"] for s in commits}
+        assert nodes == {"as11", "as12"}
+
+    def test_table_renders(self, snap):
+        text = render_cost_table(snap)
+        assert "CPU attribution (paper §7.5)" in text
+        assert "Signature operations" in text
+
+
+class TestCli:
+    def test_table_from_snapshot_file(self, tmp_path, capsys):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(fabricated_snapshot()))
+        assert main(["--snapshot", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "CPU attribution (paper §7.5)" in out
+
+    def test_json_from_snapshot_file(self, tmp_path, capsys):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(fabricated_snapshot()))
+        assert main(["--snapshot", str(path), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["schema"] == 1
+
+    def test_prom_requires_live_run(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(fabricated_snapshot()))
+        with pytest.raises(SystemExit):
+            main(["--snapshot", str(path), "--format", "prom"])

@@ -1,0 +1,55 @@
+"""Runtime clocks: the stepped grid and the monotonic wall clock."""
+
+import time
+
+import pytest
+
+from repro.runtime.node_runtime import StepClock, WallClock
+
+
+class TestStepClock:
+    def test_millisecond_grid(self):
+        clock = StepClock()
+        clock.advance_to(1.23456)
+        assert clock.now == 1.235
+
+    def test_cannot_rewind(self):
+        clock = StepClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+
+class TestWallClock:
+    def test_rebased_starts_near_zero(self):
+        assert 0.0 <= WallClock().now < 1.0
+
+    def test_unrebased_tracks_wall_time(self):
+        clock = WallClock(rebase=False)
+        assert abs(clock.now - time.time()) < 1.0
+
+    def test_advances(self):
+        clock = WallClock()
+        first = clock.now
+        time.sleep(0.01)
+        assert clock.now > first
+
+    def test_immune_to_wall_clock_steps(self, monkeypatch):
+        """A backwards time.time() step (NTP correction, manual clock
+        change) must not move ``now`` backwards — evidence-log
+        timestamps have to be non-decreasing within a process
+        (regression: ``now`` used to read time.time() directly)."""
+        clock = WallClock()
+        before = clock.now
+        real_time = time.time
+        monkeypatch.setattr(time, "time",
+                            lambda: real_time() - 3600.0)
+        after = clock.now
+        assert after >= before
+        # An hour-long backwards step must not even dent the reading.
+        assert after - before < 1.0
+
+    def test_time_dot_time_unused_after_init(self, monkeypatch):
+        clock = WallClock(rebase=False)
+        monkeypatch.setattr(time, "time", lambda: (_ for _ in ()).throw(
+            AssertionError("now must not consult time.time()")))
+        assert clock.now >= 0.0

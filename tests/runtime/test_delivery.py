@@ -8,6 +8,7 @@ recorder alarm the paper requires.
 """
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.runtime.delivery import RetryPolicy
 from repro.runtime.scenario import ASN_A, ASN_B, ROUTE, \
@@ -135,6 +136,121 @@ class TestRetryPolicy:
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
             RetryPolicy(**kwargs)
+
+    def test_jitter_cannot_pierce_max_delay(self):
+        """max_delay is a hard ceiling (regression: jitter used to be
+        applied *after* the cap, so a +50% draw on a capped delay could
+        reach 1.5x the documented maximum)."""
+        import random
+        policy = RetryPolicy(initial=30.0, factor=2.0, max_delay=30.0,
+                             jitter=0.5, max_attempts=10)
+        rng = random.Random(1)
+        for n in range(1, 8):
+            for _ in range(50):
+                assert policy.delay(n, rng) <= policy.max_delay
+
+    @settings(max_examples=150, deadline=None)
+    @given(initial=st.floats(0.01, 100.0),
+           factor=st.floats(1.0, 4.0),
+           max_delay=st.floats(0.01, 120.0),
+           jitter=st.floats(0.0, 0.99),
+           retry_number=st.integers(1, 12),
+           seed=st.integers(0, 2**16))
+    def test_delay_never_exceeds_max(self, initial, factor, max_delay,
+                                     jitter, retry_number, seed):
+        import random
+        policy = RetryPolicy(initial=initial, factor=factor,
+                             max_delay=max_delay, jitter=jitter,
+                             max_attempts=5)
+        delay = policy.delay(retry_number, random.Random(seed))
+        assert 0.0 <= delay <= max_delay
+
+    def test_give_up_exactly_at_t_max_boundary(self):
+        """Give-up lands *exactly* at first_sent + ack_timeout when the
+        clock hits that instant: the evidence window is closed-exact,
+        not strict-greater."""
+        hub = LoopbackHub(drop_filter=drop_acks)
+        quick = RetryPolicy(initial=0.1, factor=1.5, max_delay=0.5,
+                            jitter=0.0, max_attempts=2)
+        rt_a = exchange_runtime(ASN_A, hub.attach(ASN_A),
+                                retry_policy=quick)
+        hub.attach(ASN_B)  # silent: never ACKs
+        rt_a.advance_to(1.0)
+        rt_a.announce(ASN_B, ROUTE)
+        # Fine-grained stepping so every timer fires at its exact due
+        # time: retry at 1.1, exhaustion at 1.25, wait-out ends at 11.0.
+        for step in range(20, 241):
+            rt_a.advance_to(step * 0.05)
+        assert len(rt_a.delivery.evidence) == 1
+        evidence = rt_a.delivery.evidence[0]
+        timeout = rt_a.config.ack_timeout
+        assert evidence.gave_up_at - evidence.first_sent == \
+            pytest.approx(timeout)
+        assert evidence.gave_up_at == pytest.approx(
+            evidence.first_sent + timeout)
+        assert missing_ack_evidence_valid(
+            rt_a.node.registry, evidence, timeout)
+
+    def test_late_ack_between_exhaustion_and_t_max(self):
+        """An ACK that arrives after the last retransmission but before
+        T_max must cancel the pending alarm: no evidence, ever."""
+        from repro.spider.log import EntryKind
+        hub = LoopbackHub(drop_filter=drop_acks)
+        quick = RetryPolicy(initial=0.1, factor=1.5, max_delay=0.5,
+                            jitter=0.0, max_attempts=2)
+        rt_a = exchange_runtime(ASN_A, hub.attach(ASN_A),
+                                retry_policy=quick)
+        rt_b = exchange_runtime(ASN_B, hub.attach(ASN_B),
+                                retry_policy=quick)
+        rt_a.advance_to(1.0)
+        rt_b.advance_to(1.0)
+        rt_a.announce(ASN_B, ROUTE)
+        hub.deliver_all()
+        rt_b.deliver_pending()  # B ACKs; the hub eats it
+        # Exhaust A's attempts (max 2, done by t = 1.25)...
+        for step in range(20, 101):
+            t = step * 0.05
+            rt_a.advance_to(t)
+            rt_b.advance_to(t)
+            hub.deliver_all()
+            rt_b.deliver_pending()
+        assert rt_a.delivery.pending  # attempts spent, T_max not reached
+        assert rt_a.delivery.evidence == []
+        # ...then hand A the ACK B logged but the network dropped,
+        # squarely inside the (exhaustion, T_max) window.
+        acks = rt_b.recorder.log.of_kind(EntryKind.SENT_ACK)
+        assert acks
+        rt_a.node.receive_spider(acks[0].payload)
+        assert rt_a.delivery.pending == {}
+        assert rt_a.delivery.acks_matched == 1
+        # Let T_max (and much more) elapse: the wait-out timer still
+        # fires, but must find nothing to accuse.
+        for t in (11.0, 12.0, 30.0):
+            rt_a.advance_to(t)
+        assert rt_a.delivery.evidence == []
+        assert rt_a.recorder.alarms == []
+
+    def test_no_duplicate_evidence_after_give_up(self):
+        """Once evidence exists for a message, later timer firings and
+        further time must not add a second record or a second alarm."""
+        hub = LoopbackHub(drop_filter=drop_acks)
+        quick = RetryPolicy(initial=0.1, factor=1.5, max_delay=0.5,
+                            jitter=0.0, max_attempts=2)
+        rt_a = exchange_runtime(ASN_A, hub.attach(ASN_A),
+                                retry_policy=quick)
+        hub.attach(ASN_B)
+        rt_a.advance_to(1.0)
+        rt_a.announce(ASN_B, ROUTE)
+        for step in range(5, 61):
+            rt_a.advance_to(step * 0.25)
+        assert len(rt_a.delivery.evidence) == 1
+        rt_a.advance_to(30.0)
+        rt_a.advance_to(60.0)
+        assert len(rt_a.delivery.evidence) == 1
+        missing_ack_alarms = [a for a in rt_a.recorder.alarms
+                              if "no ack" in a]
+        assert len(missing_ack_alarms) == 1
+        assert rt_a.delivery.pending == {}
 
     def test_premature_alarm_is_deferred_past_t_max(self):
         """Attempts can run out before T_max; the alarm must still wait

@@ -37,6 +37,33 @@ class TestFrameDecoder:
         assert decoder.buffered == 3
         assert decoder.feed(frame[3:]) == [b"split me"]
 
+    def test_framing_error_poisons_decoder(self):
+        """A framing violation is unrecoverable: the decoder marks
+        itself dead and every later feed says so explicitly (regression:
+        the oversized prefix used to stay buffered, so later feeds
+        re-raised the original error as if the *new* chunk were bad)."""
+        decoder = FrameDecoder(max_frame=16)
+        assert not decoder.poisoned
+        with pytest.raises(FramingError):
+            decoder.feed((17).to_bytes(LENGTH_BYTES, "big"))
+        assert decoder.poisoned
+        with pytest.raises(FramingError, match="poisoned"):
+            decoder.feed(encode_frame(b"perfectly valid"))
+
+    def test_poisoned_decoder_rejects_even_empty_feed(self):
+        decoder = FrameDecoder(max_frame=16)
+        with pytest.raises(FramingError):
+            decoder.feed((17).to_bytes(LENGTH_BYTES, "big"))
+        with pytest.raises(FramingError, match="poisoned"):
+            decoder.feed(b"")
+
+    def test_fresh_decoder_is_not_poisoned_by_sibling(self):
+        bad = FrameDecoder(max_frame=16)
+        with pytest.raises(FramingError):
+            bad.feed((17).to_bytes(LENGTH_BYTES, "big"))
+        fresh = FrameDecoder(max_frame=16)
+        assert fresh.feed(encode_frame(b"ok")) == [b"ok"]
+
     @settings(max_examples=60, deadline=None)
     @given(st.lists(st.binary(max_size=64), min_size=1, max_size=8),
            st.data())
