@@ -1,0 +1,37 @@
+"""repro.analysis — spiderlint, the project's static-analysis suite.
+
+SPIDeR's safety argument rests on invariants tests can only spot-check:
+deterministic paths stay seeded, decoders fail closed, digest
+comparisons run in constant time, the metrics schema stays canonical,
+wire dataclasses stay frozen.  This package enforces them statically on
+every commit — the cheap analogue of IVeri's SMT verifier for our
+pure-Python codebase.
+
+Public surface:
+
+* :func:`repro.analysis.rules.all_rules` — the rule catalogue
+  (SPDR001–SPDR005);
+* :class:`repro.analysis.engine.Engine` — runs rules over files or raw
+  source, honoring suppressions and a baseline;
+* :mod:`repro.analysis.baseline` — the ratchet file format;
+* ``python -m repro.analysis`` — the CLI (see
+  :mod:`repro.analysis.cli`).
+"""
+
+from __future__ import annotations
+
+from .baseline import load_baseline, write_baseline
+from .engine import AnalysisResult, Engine, Rule, RuleContext
+from .findings import Finding
+from .rules import all_rules
+
+__all__ = [
+    "AnalysisResult",
+    "Engine",
+    "Finding",
+    "Rule",
+    "RuleContext",
+    "all_rules",
+    "load_baseline",
+    "write_baseline",
+]

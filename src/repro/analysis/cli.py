@@ -1,0 +1,139 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Usage patterns::
+
+    python -m repro.analysis src                    # lint, exit 1 on findings
+    python -m repro.analysis src --baseline analysis-baseline.json
+    python -m repro.analysis src --write-baseline analysis-baseline.json
+    python -m repro.analysis --list-rules
+    python -m repro.analysis --check-shrunk OLD NEW # baseline ratchet check
+
+Exit status: 0 when no (non-baselined) findings and no parse errors,
+1 when findings remain, 2 for usage/baseline errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .baseline import BaselineError, check_shrunk, load_baseline, \
+    write_baseline
+from .engine import AnalysisResult, Engine, Rule
+from .rules import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="spiderlint: SPIDeR-specific static analysis")
+    parser.add_argument("paths", nargs="*", default=[],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="subtract findings recorded in this "
+                             "baseline file")
+    parser.add_argument("--write-baseline", metavar="FILE", default=None,
+                        help="write current findings to FILE and exit 0")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--rules", metavar="IDS", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--check-shrunk", nargs=2,
+                        metavar=("OLD", "NEW"), default=None,
+                        help="verify baseline NEW adds no entries over "
+                             "OLD, then exit")
+    return parser
+
+
+def _select_rules(spec: Optional[str]) -> List[Rule]:
+    rules = all_rules()
+    if spec is None:
+        return rules
+    wanted = {part.strip() for part in spec.split(",") if part.strip()}
+    known = {rule.rule_id for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(
+            f"unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})")
+    return [rule for rule in rules if rule.rule_id in wanted]
+
+
+def _emit(result: AnalysisResult, output_format: str) -> None:
+    if output_format == "json":
+        doc = {
+            "files_analyzed": result.files_analyzed,
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "parse_errors": result.parse_errors,
+            "findings": [
+                {"rule": f.rule_id, "path": f.path, "line": f.line,
+                 "column": f.column, "message": f.message,
+                 "fingerprint": f.fingerprint()}
+                for f in result.findings
+            ],
+        }
+        print(json.dumps(doc, indent=2))
+        return
+    for error in result.parse_errors:
+        print(error)
+    for finding in result.findings:
+        print(finding.render())
+    summary = (f"spiderlint: {result.files_analyzed} files, "
+               f"{len(result.findings)} finding(s), "
+               f"{result.suppressed} suppressed, "
+               f"{result.baselined} baselined")
+    print(summary, file=sys.stderr)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    if args.check_shrunk is not None:
+        old_path, new_path = args.check_shrunk
+        try:
+            grown = check_shrunk(old_path, new_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if grown:
+            print("baseline grew — new entries are not allowed:",
+                  file=sys.stderr)
+            for fingerprint in grown:
+                print(f"  {fingerprint}", file=sys.stderr)
+            return 1
+        print("baseline ok: no new entries", file=sys.stderr)
+        return 0
+
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    engine = Engine(_select_rules(args.rules))
+    paths = list(args.paths) or ["src"]
+    result = engine.analyze_paths(paths, baseline=baseline)
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, result.findings)
+        print(f"wrote {len(result.findings)} finding(s) to "
+              f"{args.write_baseline}", file=sys.stderr)
+        return 0
+
+    _emit(result, args.format)
+    return 0 if result.ok else 1

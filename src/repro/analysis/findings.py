@@ -1,0 +1,71 @@
+"""Findings: what a rule reports and how a baseline remembers it.
+
+A :class:`Finding` pins one rule violation to a source location.  The
+*fingerprint* is deliberately line-number-free: it hashes the rule id,
+the normalized module path, the stripped text of the offending line, and
+an occurrence counter (for identical lines in one file).  Unrelated
+edits that merely shift code up or down therefore do not invalidate a
+committed baseline, while any edit to the offending line itself does —
+exactly the semantics a ratchet file needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str            # normalized module path, e.g. "repro/spider/wire.py"
+    line: int            # 1-based
+    column: int          # 0-based, as ast reports it
+    message: str
+    line_text: str = ""  # stripped source of the offending line
+    occurrence: int = 0  # ordinal among identical (rule, path, line_text)
+
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline file."""
+        basis = "\x1f".join((self.rule_id, self.path, self.line_text,
+                             str(self.occurrence)))
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.column + 1}: "
+                f"{self.rule_id} {self.message}")
+
+
+def assign_occurrences(findings: List[Finding]) -> List[Finding]:
+    """Number findings that share (rule, path, line text).
+
+    Two hits on byte-identical lines in one file would otherwise collide
+    to one fingerprint, letting a baseline entry excuse both.
+    """
+    counts: Dict[str, int] = {}
+    out: List[Finding] = []
+    for finding in findings:
+        key = "\x1f".join((finding.rule_id, finding.path,
+                           finding.line_text))
+        ordinal = counts.get(key, 0)
+        counts[key] = ordinal + 1
+        if ordinal != finding.occurrence:
+            finding = Finding(
+                rule_id=finding.rule_id, path=finding.path,
+                line=finding.line, column=finding.column,
+                message=finding.message, line_text=finding.line_text,
+                occurrence=ordinal)
+        out.append(finding)
+    return out
+
+
+@dataclass(slots=True)
+class FileReport:
+    """All findings for one analyzed file (post-suppression)."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0

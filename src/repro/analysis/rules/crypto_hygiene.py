@@ -1,0 +1,103 @@
+"""SPDR002 — compare secrets in constant time.
+
+Digest, signature, label, and payload comparisons sit on verification
+paths an adversary can drive with chosen inputs; bare ``==`` on bytes
+short-circuits at the first differing byte and leaks position through
+timing.  Every such comparison must go through
+:func:`repro.crypto.hashing.constant_time_eq` (a thin wrapper over
+``hmac.compare_digest``).  The rule is syntactic and name-driven: it
+flags ``==``/``!=`` where either operand *looks like* secret material —
+a name/attribute such as ``payload``/``root``/``signature``/
+``message_hash``/``*_label(s)``/``*_digest(s)``, or a direct call to
+one of the hashing helpers.  Comparisons that are genuinely non-secret
+(e.g. equality of public constants) take a per-line suppression with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Tuple
+
+from ..engine import Rule, RuleContext, call_name, terminal_name
+
+RULE_ID = "SPDR002"
+
+#: Directories whose comparisons are in scope.
+SCOPE: Tuple[str, ...] = (
+    "repro/crypto/",
+    "repro/core/",
+    "repro/mtt/",
+    "repro/spider/",
+    "repro/runtime/",
+)
+
+#: Exact sensitive identifiers (variable or attribute names).
+_SENSITIVE_EXACT = frozenset({
+    "root", "root_label", "leaf_label", "payload", "signature",
+    "message_hash", "digest", "blinding", "mac",
+})
+
+#: Sensitive name suffixes.
+_SENSITIVE_SUFFIXES: Tuple[str, ...] = (
+    "_digest", "_digests", "_hash", "_hashes", "_label", "_labels",
+    "_signature", "_signatures", "_root",
+)
+
+#: Hashing helpers whose results are always digests.
+_DIGEST_CALLS = frozenset({
+    "digest", "digest_fields", "digest_concat", "digest_iter",
+    "bit_commitment", "message_hash", "fingerprint",
+})
+
+
+def _is_sensitive(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        name = terminal_name(node)
+        return name in _DIGEST_CALLS
+    name = terminal_name(node)
+    if name is None:
+        return False
+    return name in _SENSITIVE_EXACT or name.endswith(_SENSITIVE_SUFFIXES)
+
+
+class CryptoHygieneRule(Rule):
+    rule_id = RULE_ID
+    title = "digest/signature comparisons use constant_time_eq"
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith(SCOPE)
+
+    def check(self, ctx: RuleContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if len(node.ops) != 1 or \
+                    not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+                continue
+            left, right = node.left, node.comparators[0]
+            if _is_none(left) or _is_none(right):
+                continue
+            offender = self._sensitive_operand(left, right)
+            if offender is None:
+                continue
+            name = terminal_name(offender) or "value"
+            ctx.report(
+                self.rule_id, node,
+                f"{name!r} compared with "
+                f"{'==' if isinstance(node.ops[0], ast.Eq) else '!='}; "
+                "use crypto.hashing.constant_time_eq for digest/"
+                "signature material")
+
+    @staticmethod
+    def _sensitive_operand(left: ast.AST,
+                           right: ast.AST) -> Optional[ast.AST]:
+        if _is_sensitive(left):
+            return left
+        if _is_sensitive(right):
+            return right
+        return None
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None

@@ -1,0 +1,80 @@
+"""SPDR004 — metric names come from the central catalogue.
+
+The JSON/Prometheus exporters and the golden snapshot-schema test treat
+metric names as a public schema.  A name invented at a call site forks
+the time series silently; a typo'd name vanishes from dashboards with
+no error anywhere.  This rule requires the name argument of every
+registry write (``.counter(...)``, ``.gauge(...)``, ``.histogram(...)``,
+``.span(...)``) to be either a string literal declared in
+:mod:`repro.obs.names` or a reference to one of its UPPER_CASE
+constants.  The catalogue itself and the obs/analysis plumbing are out
+of scope (the registry's generic accessors take the name as a variable
+by design).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Tuple
+
+from ...obs import names as _names_catalogue
+from ..engine import Rule, RuleContext, terminal_name
+
+RULE_ID = "SPDR004"
+
+_REGISTRY_METHODS = frozenset({"counter", "gauge", "histogram", "span"})
+
+EXCLUDED: Tuple[str, ...] = (
+    "repro/obs/",
+    "repro/analysis/",
+)
+
+
+def _declared_literal(value: str) -> bool:
+    return value in _names_catalogue.ALL_METRIC_NAMES
+
+
+def _declared_constant(identifier: str) -> bool:
+    return identifier.isupper() and \
+        isinstance(getattr(_names_catalogue, identifier, None), str)
+
+
+class ObsNamingRule(Rule):
+    rule_id = RULE_ID
+    title = "registry metric/span names are declared in obs/names.py"
+
+    def applies_to(self, path: str) -> bool:
+        return path.endswith(".py") and not path.startswith(EXCLUDED)
+
+    def check(self, ctx: RuleContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute) or \
+                    node.func.attr not in _REGISTRY_METHODS:
+                continue
+            if not node.args:
+                continue
+            problem = self._name_problem(node.args[0])
+            if problem is not None:
+                ctx.report(
+                    self.rule_id, node,
+                    f".{node.func.attr}() {problem}; declare the name "
+                    "in repro.obs.names and use it here")
+
+    @staticmethod
+    def _name_problem(arg: ast.expr) -> Optional[str]:
+        if isinstance(arg, ast.Constant):
+            if not isinstance(arg.value, str):
+                return f"name is a non-string literal {arg.value!r}"
+            if not _declared_literal(arg.value):
+                return f"metric name {arg.value!r} is not declared in " \
+                    "the obs/names.py catalogue"
+            return None
+        identifier = terminal_name(arg)
+        if identifier is not None and not isinstance(arg, ast.Call):
+            if _declared_constant(identifier):
+                return None
+            return f"metric name reference {identifier!r} does not " \
+                "resolve to an obs/names.py constant"
+        return "metric name is a computed expression"

@@ -1,0 +1,85 @@
+"""SPDR005 — wire dataclasses are frozen and slotted.
+
+PR 1 established the pattern on ``Prefix``/``Route``/``MttBitProof``:
+message and route dataclasses declare ``frozen=True`` (a signed message
+that mutates after signing is a forgery factory) and ``slots=True``
+(hundreds of thousands of these objects exist per commitment round, and
+slots both shrink them and reject stray attribute writes).  This rule
+makes the pattern load-bearing for every dataclass in the wire modules;
+deliberately mutable accumulator types take a per-line suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from ..engine import Rule, RuleContext
+
+RULE_ID = "SPDR005"
+
+#: Modules whose dataclasses are wire/message types.
+SCOPE: Tuple[str, ...] = (
+    "repro/bgp/messages.py",
+    "repro/bgp/prefix.py",
+    "repro/bgp/route.py",
+    "repro/core/wire.py",
+    "repro/core/commitment.py",
+    "repro/spider/wire.py",
+    "repro/spider/evidence.py",
+    "repro/mtt/proofs.py",
+    "repro/crypto/signatures.py",
+)
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> Optional[ast.expr]:
+    for decorator in cls.decorator_list:
+        if isinstance(decorator, ast.Name) and \
+                decorator.id == "dataclass":
+            return decorator
+        if isinstance(decorator, ast.Attribute) and \
+                decorator.attr == "dataclass":
+            return decorator
+        if isinstance(decorator, ast.Call):
+            func = decorator.func
+            if (isinstance(func, ast.Name) and func.id == "dataclass") \
+                    or (isinstance(func, ast.Attribute)
+                        and func.attr == "dataclass"):
+                return decorator
+    return None
+
+
+def _missing_flags(decorator: ast.expr) -> List[str]:
+    present: Dict[str, object] = {}
+    if isinstance(decorator, ast.Call):
+        for keyword in decorator.keywords:
+            if keyword.arg is not None and \
+                    isinstance(keyword.value, ast.Constant):
+                present[keyword.arg] = keyword.value.value
+    missing: List[str] = []
+    for flag in ("frozen", "slots"):
+        if present.get(flag) is not True:
+            missing.append(f"{flag}=True")
+    return missing
+
+
+class WireDataclassRule(Rule):
+    rule_id = RULE_ID
+    title = "wire dataclasses declare frozen=True, slots=True"
+
+    def applies_to(self, path: str) -> bool:
+        return path in SCOPE
+
+    def check(self, ctx: RuleContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                continue
+            missing = _missing_flags(decorator)
+            if missing:
+                ctx.report(
+                    self.rule_id, node,
+                    f"wire dataclass {node.name!r} must declare "
+                    f"{', '.join(missing)}")

@@ -77,7 +77,7 @@ class CommunityAction:
     kind: ActionKind
     parameter: object
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind is ActionKind.SET_LOCAL_PREF:
             if not isinstance(self.parameter, int):
                 raise TypeError("SET_LOCAL_PREF parameter must be an int")

@@ -24,7 +24,8 @@ order (Definition 1).
 from __future__ import annotations
 
 import functools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, \
+    Sequence, Tuple
 
 from .route import Route
 
@@ -39,7 +40,7 @@ def _med_groups(candidates: Sequence[Route]) -> Dict[int, int]:
     return best
 
 
-def preference_key(route: Route) -> Tuple:
+def preference_key(route: Route) -> Tuple[Any, ...]:
     """Sort key implementing steps 1-3 and 6-7 (higher sorts first).
 
     MED (step 4) cannot be expressed as a per-route key because it is only

@@ -15,7 +15,7 @@ from .prefix import Prefix
 from .route import Route
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Announce:
     """``sender`` announces ``route`` (already prepended) to ``receiver``."""
 
@@ -35,7 +35,7 @@ class Announce:
         return f"ANNOUNCE {self.sender}->{self.receiver}: {self.route}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Withdraw:
     """``sender`` withdraws its route for ``prefix`` from ``receiver``."""
 

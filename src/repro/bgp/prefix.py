@@ -33,7 +33,7 @@ class Prefix:
     address: int
     length: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0 <= self.length <= MAX_PREFIX_LEN:
             raise PrefixError(f"prefix length {self.length} out of range")
         if not 0 <= self.address < (1 << 32):

@@ -41,7 +41,7 @@ class NullRoute:
 
     _instance: Optional["NullRoute"] = None
 
-    def __new__(cls):
+    def __new__(cls) -> "NullRoute":
         if cls._instance is None:
             cls._instance = super().__new__(cls)
         return cls._instance
@@ -79,7 +79,7 @@ class Route:
     #: Tie-break of last resort, standing in for the neighbor router ID.
     router_id: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if len(set(self.as_path)) != len(self.as_path):
             raise ValueError(f"AS path {self.as_path} contains a loop")
 

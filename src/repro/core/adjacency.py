@@ -52,7 +52,7 @@ def register_adjacencies(registry: KeyRegistry, identity: Identity,
     organization while the protocol treats adjacencies as distinct
     consumers.
     """
-    identities = []
+    identities: List[Identity] = []
     for point in range(points):
         participant = adjacency_id(identity.asn, point)
         adjacency_identity = Identity(asn=participant,

@@ -21,9 +21,10 @@ picks ``e`` so that every consumer can be given a conforming offer.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, \
+    Tuple
 
-from ..bgp.route import NULL_ROUTE
+from ..bgp.route import NULL_ROUTE, Route
 from .classes import ClassScheme, RouteOrNull
 from .promise import Promise
 
@@ -100,7 +101,8 @@ def conforming_offer(promise: Promise, inputs: Sequence[RouteOrNull],
 def honest_choice(scheme: ClassScheme,
                   inputs: Sequence[RouteOrNull],
                   promises: Iterable[Promise],
-                  private_rank=None) -> RouteOrNull:
+                  private_rank: Optional[Callable[[Route], object]]
+                  = None) -> RouteOrNull:
     """Pick ``e`` so every consumer can be given a conforming offer.
 
     Candidates are tried in the elector's private preference order

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 from ..bgp.policy import Relation
+from ..bgp.prefix import Prefix
 from ..bgp.route import NULL_ROUTE, NullRoute, Route
 from ..crypto.hashing import digest_fields
 
@@ -42,7 +43,7 @@ class ClassScheme:
     labels: Tuple[str, ...]
     classify_fn: Classifier
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.labels:
             raise ValueError("a class scheme needs at least one class")
         if len(set(self.labels)) != len(self.labels):
@@ -185,7 +186,7 @@ def selective_export_scheme(
     return ClassScheme(labels=labels, classify_fn=classify)
 
 
-def partial_transit_scheme(region,
+def partial_transit_scheme(region: Sequence[Prefix],
                            region_label: str = "region-routes"
                            ) -> ClassScheme:
     """'Partial customer or transit relationship' (Section 3.2).

@@ -21,7 +21,7 @@ contributes one claimed class (or ⊥, i.e. "I sent nothing").
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..bgp.route import NULL_ROUTE
 from .classes import ClassScheme, RouteOrNull
@@ -29,7 +29,8 @@ from .promise import Promise
 
 
 def _inhabited_classes(scheme: ClassScheme,
-                       honest_inputs: Iterable[RouteOrNull]) -> set:
+                       honest_inputs: Iterable[RouteOrNull]
+                       ) -> Set[int]:
     classes = {scheme.classify(NULL_ROUTE)}
     for route in honest_inputs:
         if route is not NULL_ROUTE:

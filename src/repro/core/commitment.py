@@ -19,11 +19,11 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..crypto.hashing import DIGEST_SIZE, bit_commitment, \
-    bit_commitments, digest_concat
+    bit_commitments, constant_time_eq, digest_concat
 from ..crypto.rc4 import Rc4Csprng
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlatBitProof:
     """Proof that bit ``index`` had value ``bit`` under a commitment root.
 
@@ -108,6 +108,6 @@ def verify_flat_proof(root: bytes, proof: FlatBitProof,
     leaf = bit_commitment(proof.bit, proof.blinding)
     leaves: List[bytes] = list(proof.sibling_leaves)
     leaves.insert(proof.index, leaf)
-    if digest_concat(*leaves) != root:
+    if not constant_time_eq(digest_concat(*leaves), root):
         return None
     return proof.bit

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..bgp.route import NULL_ROUTE
+from ..bgp.route import NULL_ROUTE, Route
 from ..crypto.keys import Identity, KeyRegistry
 from ..crypto.rc4 import Rc4Csprng
 from ..crypto.signatures import Signed, Signer
@@ -74,7 +74,8 @@ class Elector:
                  scheme: ClassScheme, promises: Dict[int, Promise],
                  seed: bytes, round_id: int = 0,
                  behavior: Behavior = HONEST,
-                 private_rank: Optional[Callable] = None):
+                 private_rank: Optional[
+                     Callable[[Route], object]] = None):
         self.identity = identity
         self.registry = registry
         self.scheme = scheme
@@ -218,7 +219,7 @@ class Elector:
         ranks strictly above the class of the route it was offered."""
         promise = self.promises[consumer]
         offer_class = self.scheme.classify(offered)
-        out = []
+        out: List[BitProofMsg] = []
         for class_index in promise.classes_above(offer_class):
             msg = self._proof_msg(consumer, class_index)
             if msg is not None:

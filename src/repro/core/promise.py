@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, \
+    Set, Tuple
 
-from ..crypto.hashing import digest_fields
+from ..crypto.hashing import constant_time_eq, digest_fields
 from ..crypto.keys import KeyRegistry
 from ..crypto.signatures import Signed, Signer, Verifier
 from .classes import ClassScheme, RouteOrNull
@@ -33,7 +34,7 @@ class InconsistentPromiseError(ValueError):
 def _transitive_closure(pairs: Iterable[OrderPair]) -> FrozenSet[OrderPair]:
     """Reachability closure via DFS from each node (near-linear for the
     dense tier×length promises real deployments use)."""
-    successors: dict = {}
+    successors: Dict[int, Set[int]] = {}
     for lower, higher in pairs:
         successors.setdefault(lower, set()).add(higher)
     closure: Set[OrderPair] = set()
@@ -61,7 +62,7 @@ class Promise:
     scheme: ClassScheme
     order: FrozenSet[OrderPair] = field(default_factory=frozenset)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         k = self.scheme.k
         for lower, higher in self.order:
             if not (0 <= lower < k and 0 <= higher < k):
@@ -196,6 +197,7 @@ def verify_signed_promise(registry: KeyRegistry, elector: int,
     """Check a signed promise representation names this promise."""
     if envelope.signer != elector:
         return False
-    if envelope.payload != b"PROMISE" + promise.encode():
+    if not constant_time_eq(envelope.payload,
+                            b"PROMISE" + promise.encode()):
         return False
     return Verifier(registry).verify(envelope)

@@ -16,16 +16,18 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..crypto.hashing import constant_time_eq
 from ..crypto.keys import Identity, KeyRegistry
+from ..bgp.route import Route
 from .classes import ClassScheme, RouteOrNull
 from .consumer import Consumer
 from .elector import Behavior, CommitmentPhaseOutput, Elector, HONEST
 from .producer import Producer
 from .promise import Promise
 from .verdict import EquivocationPoM, FaultKind, Verdict
-from .wire import CommitmentMsg
+from .wire import BitProofMsg, CommitmentMsg
 
 
 @dataclass
@@ -58,10 +60,10 @@ def _cross_check_commitments(
     INVALIDCOMMIT proof of misbehavior (Section 4.5).
     """
     verdicts: List[Verdict] = []
-    seen_pairs = set()
+    seen_pairs: Set[Tuple[bytes, bytes]] = set()
     for (asn_a, msg_a), (asn_b, msg_b) in itertools.combinations(
             sorted(commitments.items()), 2):
-        if msg_a.root == msg_b.root:
+        if constant_time_eq(msg_a.root, msg_b.root):
             continue
         key = (msg_a.root, msg_b.root)
         if key in seen_pairs:
@@ -93,7 +95,7 @@ def run_round(
     round_id: int = 0,
     behavior: Behavior = HONEST,
     verify: bool = True,
-    private_rank=None,
+    private_rank: Optional[Callable[[Route], object]] = None,
 ) -> RoundResult:
     """Execute one complete VPref round.
 
@@ -183,7 +185,7 @@ def run_round(
         for verdict in initial:
             if verdict.kind is FaultKind.MISSING_PROOF and not retried:
                 retried = True
-                responses = []
+                responses: List[BitProofMsg] = []
                 for class_index in consumer.due_classes():
                     response = elector.respond_to_challenge(asn,
                                                             class_index)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 from ..bgp.route import NULL_ROUTE
+from ..crypto.hashing import constant_time_eq
 from ..crypto.keys import KeyRegistry
 from ..crypto.signatures import Signed
 from .classes import ClassScheme
@@ -146,7 +147,7 @@ def validate_pom(registry: KeyRegistry, scheme: ClassScheme,
         return (
             pom.first.elector == pom.second.elector
             and pom.first.round_id == pom.second.round_id
-            and pom.first.root != pom.second.root
+            and not constant_time_eq(pom.first.root, pom.second.root)
             and pom.first.valid(registry)
             and pom.second.valid(registry)
         )

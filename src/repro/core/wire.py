@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..bgp.route import NULL_ROUTE
-from ..crypto.hashing import digest_fields
+from ..crypto.hashing import constant_time_eq, digest_fields
 from ..crypto.keys import KeyRegistry
 from ..crypto.signatures import Signed, Signer, Verifier
 from .classes import RouteOrNull
@@ -35,7 +35,7 @@ def advert_payload(round_id: int, producer: int, elector: int,
                          elector.to_bytes(4, "big"), _route_bytes(route))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RouteAdvert:
     """``σ_{P_i}(r_i)``: producer i advertises its route to the elector."""
 
@@ -57,7 +57,7 @@ class RouteAdvert:
             return False
         expected = advert_payload(self.round_id, self.producer,
                                   self.elector, self.route)
-        return self.envelope.payload == expected and \
+        return constant_time_eq(self.envelope.payload, expected) and \
             Verifier(registry).verify(self.envelope)
 
 
@@ -72,7 +72,7 @@ def ack_payload(advert_envelope: Signed) -> bytes:
                          advert_envelope.signature)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AdvertAck:
     """``σ_E(σ_{P_i}(r_i))``: the elector's receipt for an advert."""
 
@@ -89,7 +89,8 @@ class AdvertAck:
             return False
         if not self.advert.valid(registry):
             return False
-        return self.envelope.payload == ack_payload(self.advert.envelope) \
+        return constant_time_eq(self.envelope.payload,
+                                ack_payload(self.advert.envelope)) \
             and Verifier(registry).verify(self.envelope)
 
 
@@ -102,7 +103,7 @@ def commitment_payload(round_id: int, elector: int, root: bytes) -> bytes:
                          elector.to_bytes(4, "big"), root)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitmentMsg:
     """``σ_E(h)``: the signed commitment broadcast to all neighbors."""
 
@@ -123,7 +124,7 @@ class CommitmentMsg:
             return False
         expected = commitment_payload(self.round_id, self.elector,
                                       self.root)
-        return self.envelope.payload == expected and \
+        return constant_time_eq(self.envelope.payload, expected) and \
             Verifier(registry).verify(self.envelope)
 
 
@@ -142,7 +143,7 @@ def offer_payload(round_id: int, elector: int, consumer: int,
                          _route_bytes(offer), producer_part)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OfferMsg:
     """Step 6 message: ``σ_E(C_j, ⊥)`` or ``σ_E(C_j, σ_{P_i}(r_i), σ_E(r_i))``.
 
@@ -192,7 +193,7 @@ class OfferMsg:
             self.producer_advert.envelope
         expected = offer_payload(self.round_id, self.elector,
                                  self.consumer, self.offer, inner)
-        return self.envelope.payload == expected and \
+        return constant_time_eq(self.envelope.payload, expected) and \
             Verifier(registry).verify(self.envelope)
 
 
@@ -207,7 +208,7 @@ def bit_proof_payload(round_id: int, elector: int, recipient: int,
                          recipient.to_bytes(4, "big"), proof.encode())
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BitProofMsg:
     """A signed bit proof sent to one neighbor during verification."""
 
@@ -230,7 +231,7 @@ class BitProofMsg:
             return False
         expected = bit_proof_payload(self.round_id, self.elector,
                                      self.recipient, self.proof)
-        return self.envelope.payload == expected and \
+        return constant_time_eq(self.envelope.payload, expected) and \
             Verifier(registry).verify(self.envelope)
 
 
@@ -238,7 +239,7 @@ class BitProofMsg:
 # Verification trigger
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VerifyRequest:
     """``VERIFY(σ_E(h))``: any neighbor may broadcast this (Section 4.5)."""
 

@@ -19,7 +19,8 @@ each field so distinct field tuples can never collide by concatenation.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List, Sequence
+import hmac
+from typing import Iterable, List, Sequence, Union
 
 #: Number of digest bytes retained (the paper truncates SHA-512 to 20 bytes).
 DIGEST_SIZE = 20
@@ -41,6 +42,20 @@ def digest(data: bytes) -> bytes:
     if not isinstance(data, (bytes, bytearray, memoryview)):
         raise TypeError(f"digest() requires bytes, got {type(data).__name__}")
     return _sha512(data).digest()[:DIGEST_SIZE]
+
+
+def constant_time_eq(a: Union[bytes, bytearray, memoryview],
+                     b: Union[bytes, bytearray, memoryview]) -> bool:
+    """Timing-safe equality for digests, labels, and signatures.
+
+    Every comparison of attacker-influenced digest/signature material
+    must go through this function (lint rule SPDR002): bare ``==`` on
+    bytes short-circuits at the first differing byte, leaking the
+    position of the mismatch through timing.  Wraps
+    :func:`hmac.compare_digest`, which compares in time independent of
+    content for equal-length inputs.
+    """
+    return hmac.compare_digest(bytes(a), bytes(b))
 
 
 def digest_concat(*parts: bytes) -> bytes:

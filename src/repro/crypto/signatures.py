@@ -25,11 +25,11 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from . import rsa
 from ..obs.registry import Registry, get_registry
-from .hashing import digest, digest_fields
+from .hashing import constant_time_eq, digest, digest_fields
 from .keys import Identity, KeyRegistry
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Signed:
     """A payload plus an attributable signature.
 
@@ -76,8 +76,9 @@ def _batch_root(signer: int, digests: Sequence[bytes]) -> bytes:
     return digest_fields(b"batch", signer.to_bytes(4, "big"), *digests)
 
 
+# Mutable accumulator by design: counters are merged in place.
 @dataclass
-class CryptoStats:
+class CryptoStats:  # spiderlint: disable=SPDR005
     """Counters for signature operations (for the Section 7.5 breakdown)."""
 
     signatures_made: int = 0
@@ -180,8 +181,9 @@ class Verifier:
                 self._obs.counter("signatures_checked_total",
                                   outcome="bad_batch").inc()
                 return False
-            if digest(signed.payload) != \
-                    signed.batch_digests[signed.batch_index]:
+            if not constant_time_eq(
+                    digest(signed.payload),
+                    signed.batch_digests[signed.batch_index]):
                 self._obs.counter("signatures_checked_total",
                                   outcome="bad_batch").inc()
                 return False

@@ -20,7 +20,7 @@ detection guarantees hold against exactly that deviation:
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Set
+from typing import Any, Callable, List, Optional, Set
 
 from ..bgp.prefix import Prefix
 from ..bgp.route import Route
@@ -28,7 +28,7 @@ from ..bgp.speaker import Speaker
 from ..crypto.signatures import Signer
 from ..mtt.proofs import MttBitProof
 from ..spider.proofgen import ProofSet
-from ..spider.recorder import Recorder
+from ..spider.recorder import CommitmentRecord, Recorder
 from ..spider.wire import SpiderAnnounce, SpiderBitProof, SpiderCommitment
 
 
@@ -40,12 +40,13 @@ class FilteringRecorder(Recorder):
     stealthy version of losing a route.
     """
 
-    def __init__(self, *args, drop_from: int,
-                 drop_prefixes: Optional[Set[Prefix]] = None, **kwargs):
+    def __init__(self, *args: Any, drop_from: int,
+                 drop_prefixes: Optional[Set[Prefix]] = None,
+                 **kwargs: Any):
         super().__init__(*args, **kwargs)
         self.drop_from = drop_from
         self.drop_prefixes = drop_prefixes
-        self.dropped: list = []
+        self.dropped: List[SpiderAnnounce] = []
 
     def _should_drop(self, message: SpiderAnnounce) -> bool:
         if message.sender != self.drop_from:
@@ -66,11 +67,12 @@ class FilteringRecorder(Recorder):
 class EquivocatingRecorder(Recorder):
     """A recorder that commits differently toward selected neighbors."""
 
-    def __init__(self, *args, lie_to: Set[int], **kwargs):
+    def __init__(self, *args: Any, lie_to: Set[int],
+                 **kwargs: Any):
         super().__init__(*args, **kwargs)
         self.lie_to = set(lie_to)
 
-    def make_commitment(self):
+    def make_commitment(self) -> CommitmentRecord:
         record = super().make_commitment()
         # Overwrite what the chosen neighbors received with a second,
         # inconsistent commitment (same time, different root).
@@ -89,7 +91,8 @@ def install_import_filter(speaker: Speaker,
     policy = speaker.import_policy
     original = policy.apply
 
-    def filtering_apply(route: Route, neighbor: int):
+    def filtering_apply(route: Route, neighbor: int
+                        ) -> Optional[Route]:
         if predicate(route, neighbor):
             return None
         return original(route, neighbor)
@@ -103,7 +106,8 @@ def install_export_filter(speaker: Speaker,
     policy = speaker.export_policy
     original = policy.apply
 
-    def filtering_apply(route: Route, neighbor: int):
+    def filtering_apply(route: Route, neighbor: int
+                        ) -> Optional[Route]:
         if predicate(route, neighbor):
             return None
         return original(route, neighbor)
@@ -139,7 +143,7 @@ def tamper_proof_set(signer: Signer, proofs: ProofSet, prefix: Prefix,
             message = tamper_bit_proof(signer, message)
         result.producer_proofs[p] = message
     for p, messages in proofs.consumer_proofs.items():
-        out = []
+        out: List[SpiderBitProof] = []
         for message in messages:
             if p == prefix and (class_index is None or
                                 message.proof.class_index == class_index):

@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..bgp.prefix import Prefix
 from ..bgp.route import NULL_ROUTE
+from ..core.classes import RouteOrNull
 from ..core.classes import ClassScheme
 from ..core.verdict import FaultKind
 from ..netsim.network import Network, TraceEvent
@@ -31,6 +32,7 @@ from ..netsim.topology import FOCUS_AS, INJECTION_AS, figure5_topology
 from ..spider.config import SpiderConfig
 from ..spider.node import SpiderDeployment, VerificationOutcome, \
     evaluation_scheme
+from ..spider.recorder import Recorder
 from .injector import FilteringRecorder, install_export_filter, \
     install_import_filter, tamper_proof_set
 
@@ -71,7 +73,7 @@ class ScenarioResult:
 def selective_export_scheme_for_spider() -> ClassScheme:
     """A path-based never-export scheme usable across the whole AS graph:
     routes originated by :data:`SECRET_ORIGIN` must not be exported."""
-    def classify(route):
+    def classify(route: RouteOrNull) -> int:
         if route is NULL_ROUTE:
             return 1
         return 0 if route.traverses(SECRET_ORIGIN) else 2
@@ -80,7 +82,9 @@ def selective_export_scheme_for_spider() -> ClassScheme:
         classify_fn=classify)
 
 
-def _build(scheme=None, recorder_factories=None,
+def _build(scheme: Optional[ClassScheme] = None,
+           recorder_factories:
+           Optional[Dict[int, Callable[..., Recorder]]] = None,
            config: Optional[SpiderConfig] = None
            ) -> Tuple[Network, SpiderDeployment]:
     network = Network(figure5_topology())
@@ -236,7 +240,7 @@ def equivocating_commitments() -> ScenarioResult:
     # The VERIFY broadcast: neighbors compare what they received.
     commit_time = deployment.node(FOCUS_AS).recorder.commitments[-1] \
         .commit_time
-    roots = {}
+    roots: Dict[int, bytes] = {}
     for neighbor in network.topology.neighbors(FOCUS_AS):
         commitment = deployment.node(neighbor).commitment_from(
             FOCUS_AS, commit_time)

@@ -256,7 +256,7 @@ def labeling_experiment(n_prefixes: int = 2000, k: int = 50,
     entries = {p: [1] * k for p in prefixes}
     tree = Mtt.build(entries)
     flat = label_tree(tree, Rc4Csprng(b"label-exp"))
-    makespans = {}
+    makespans: Dict[int, float] = {}
     sequential_seconds = 0.0
     for c in workers:
         tree_c = Mtt.build(entries)
@@ -366,7 +366,7 @@ def flat_vs_mtt_experiment(n_prefixes: int = 500, k: int = 50,
     bits = [1] * k
 
     start = time.perf_counter()
-    roots = []
+    roots: List[bytes] = []
     csprng = Rc4Csprng(b"flat-exp")
     for _prefix in prefixes:
         roots.append(FlatOpening(bits, csprng).root)

@@ -37,7 +37,7 @@ def aggregation_candidates(prefixes: Iterable[Prefix]
                            ) -> List[Tuple[Prefix, Prefix, Prefix]]:
     """(low child, high child, parent) triples of complete sibling pairs."""
     present = set(prefixes)
-    out = []
+    out: List[Tuple[Prefix, Prefix, Prefix]] = []
     for prefix in sorted(present):
         if prefix.length == 0:
             continue

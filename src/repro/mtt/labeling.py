@@ -39,7 +39,8 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, \
+    Tuple, Union
 
 from ..crypto.hashing import DIGEST_SIZE, bit_commitment, digest_concat
 from ..crypto.rc4 import Rc4Csprng
@@ -188,7 +189,8 @@ def label_tree(tree: Mtt, csprng: Rc4Csprng) -> LabelingReport:
 _OP_DUMMY, _OP_BIT, _OP_INTERIOR = 0, 1, 2
 
 
-def _encode_subtree(root: MttNode) -> Tuple[list, List[MttNode]]:
+def _encode_subtree(root: MttNode
+                    ) -> Tuple[List[Tuple[int, Any]], List[MttNode]]:
     """Flatten one subtree into a picklable post-order hash program.
 
     Returns ``(ops, nodes)``: ``ops[i]`` describes how to compute the
@@ -197,9 +199,9 @@ def _encode_subtree(root: MttNode) -> Tuple[list, List[MttNode]]:
     always precede parents).  Workers never see node objects, only this
     program, which keeps pickling cost linear in the randomness size.
     """
-    ops: list = []
+    ops: List[Tuple[int, Any]] = []
     nodes: List[MttNode] = []
-    index = {}
+    index: Dict[int, int] = {}
     work: List[Tuple[MttNode, Optional[Tuple[MttNode, ...]]]] = \
         [(root, None)]
     while work:
@@ -236,7 +238,7 @@ def _encode_subtree(root: MttNode) -> Tuple[list, List[MttNode]]:
     return ops, nodes
 
 
-def _label_ops(ops: list) -> List[bytes]:
+def _label_ops(ops: List[Tuple[int, Any]]) -> List[bytes]:
     """Execute one subtree hash program; runs inside worker processes.
 
     Inlines H (SHA-512 truncated to :data:`DIGEST_SIZE`, matching
@@ -315,14 +317,16 @@ def label_tree_parallel(tree: Mtt, csprng: Rc4Csprng, workers: int,
         hash_count=hashes, mode=mode, jobs=len(jobs))
 
 
-def _run_pool(tasks, workers: int, prefer_processes: bool) -> str:
+def _run_pool(tasks: Sequence[Tuple[List[Tuple[int, Any]],
+                                    List[MttNode]]],
+              workers: int, prefer_processes: bool) -> str:
     """Label encoded subtrees on a pool; returns the pool mode used."""
     import concurrent.futures as futures
 
     all_ops = [ops for ops, _ in tasks]
     chunksize = max(1, len(tasks) // (workers * 4))
 
-    def apply(results) -> None:
+    def apply(results: Iterable[List[bytes]]) -> None:
         for (_, nodes), labels in zip(tasks, results):
             for node, label in zip(nodes, labels):
                 node.label = label
@@ -345,8 +349,10 @@ def _run_pool(tasks, workers: int, prefer_processes: bool) -> str:
     return "thread"
 
 
-def label_tree_with_workers(tree: Mtt, csprng: Rc4Csprng,
-                            workers: int = 1, cut_depth: int = 4):
+def label_tree_with_workers(
+        tree: Mtt, csprng: Rc4Csprng, workers: int = 1,
+        cut_depth: int = 4
+) -> "Union[LabelingReport, ParallelLabelReport]":
     """Labeling entry point for recorder and proof generator.
 
     Serial fast path (flattened schedule) when ``workers <= 1``, the real

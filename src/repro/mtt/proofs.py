@@ -12,10 +12,11 @@ presence or absence of any other prefix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..bgp.prefix import Prefix
-from ..crypto.hashing import DIGEST_SIZE, bit_commitment, digest_concat
+from ..crypto.hashing import DIGEST_SIZE, bit_commitment, \
+    constant_time_eq, digest_concat
 from .nodes import EDGE_END
 from .tree import Mtt
 
@@ -81,7 +82,7 @@ class LabelDigestCache:
     __slots__ = ("_store", "hits", "misses")
 
     def __init__(self):
-        self._store: dict = {}
+        self._store: Dict[Tuple[bytes, ...], bytes] = {}
         self.hits = 0
         self.misses = 0
 
@@ -168,7 +169,8 @@ def verify_proof(root_label: bytes, proof: MttBitProof,
             not 0 <= first.child_index < len(first.child_labels):
         return None
     leaf_label = bit_commitment(proof.bit, proof.blinding)
-    if first.child_labels[first.child_index] != leaf_label:
+    if not constant_time_eq(first.child_labels[first.child_index],
+                            leaf_label):
         return None
     running = step_digest(first.child_labels)
 
@@ -180,10 +182,10 @@ def verify_proof(root_label: bytes, proof: MttBitProof,
             return None
         if step.child_index != edge:
             return None
-        if step.child_labels[edge] != running:
+        if not constant_time_eq(step.child_labels[edge], running):
             return None
         running = step_digest(step.child_labels)
 
-    if running != root_label:
+    if not constant_time_eq(running, root_label):
         return None
     return proof.bit

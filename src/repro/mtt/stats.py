@@ -11,7 +11,7 @@ the paper's reference census for comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, List, Mapping, Set, Tuple
 
 from ..bgp.prefix import Prefix
 from .tree import NodeCensus
@@ -32,7 +32,7 @@ def predict_census(prefixes: Iterable[Prefix],
     not) of some announced prefix, including the empty path; dummies fill
     the remaining child slots: ``dummy = 3·inner − (inner − 1) − prefix``.
     """
-    paths = set()
+    paths: Set[Tuple[int, ...]] = set()
     n_prefixes = 0
     for prefix in prefixes:
         n_prefixes += 1
@@ -63,7 +63,7 @@ class ScaleComparison:
             "dummy": census.dummy / total,
         }
 
-    def rows(self):
+    def rows(self) -> List[Tuple[str, float, float]]:
         """(name, measured share, paper share) rows for reporting."""
         ours = self.composition(self.measured)
         paper = self.composition(self.reference)

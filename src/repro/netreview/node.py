@@ -11,7 +11,7 @@ minus MTT generation, about 5× lower) falls out of exactly this sharing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..core.classes import ClassScheme
 from ..core.promise import Promise, total_order_promise
@@ -57,7 +57,10 @@ class NetReviewDeployment:
                  scheme: Optional[ClassScheme] = None,
                  config: SpiderConfig = SpiderConfig(),
                  key_bits: int = 512, key_seed: int = 24242,
-                 promise_factory=None, scheme_factory=None):
+                 promise_factory:
+                 Optional[Callable[[int, int], Promise]] = None,
+                 scheme_factory:
+                 Optional[Callable[[int], ClassScheme]] = None):
         from ..spider.node import evaluation_scheme
         self.network = network
         self.config = config
@@ -101,7 +104,8 @@ class NetReviewDeployment:
     def recorder(self, asn: int) -> NetReviewRecorder:
         return self.recorders[asn]
 
-    def _transport_for(self, sender: int):
+    def _transport_for(self, sender: int
+                       ) -> Callable[[int, object], None]:
         def send(receiver: int, message: object) -> None:
             meter = self.network.meters.get(sender)
             if meter is not None:

@@ -57,7 +57,7 @@ class Simulator:
             raise ValueError("interval must be positive")
         first = self.now + interval if start is None else start
 
-        def tick():
+        def tick() -> None:
             callback()
             next_time = self.clock.now + interval
             if until is None or next_time <= until:

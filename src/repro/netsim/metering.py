@@ -24,6 +24,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..obs.metrics import Counter, Histogram
 from ..obs.registry import Registry, get_registry, next_instance_id
 
 
@@ -48,7 +49,7 @@ class TrafficMeter:
         self.samples: List[Tuple[float, str, int]] = []
         self.keep_samples = True
 
-    def _counter(self, category: str):
+    def _counter(self, category: str) -> Counter:
         counter = self._counters.get(category)
         if counter is None:
             counter = self._registry.counter(
@@ -108,9 +109,11 @@ class CpuMeter:
             else get_registry()
         self.node = node
         self._instance = next_instance_id("cpu")
-        self._cells: Dict[str, tuple] = {}
+        self._cells: Dict[str, Tuple[Counter, Counter,
+                                     Histogram]] = {}
 
-    def _section_cells(self, name: str):
+    def _section_cells(self, name: str
+                       ) -> Tuple[Counter, Counter, Histogram]:
         cells = self._cells.get(name)
         if cells is None:
             labels = {"instance": self._instance, "node": self.node,
@@ -172,7 +175,7 @@ class StorageMeter:
         self._instance = next_instance_id("storage")
         self._counters: Dict[str, object] = {}
 
-    def _counter(self, kind: str):
+    def _counter(self, kind: str) -> Counter:
         counter = self._counters.get(kind)
         if counter is None:
             counter = self._registry.counter(

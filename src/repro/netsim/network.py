@@ -13,7 +13,8 @@ ever sends updates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple, \
+    TYPE_CHECKING
 
 from ..bgp.messages import Announce, Update, Withdraw
 from ..bgp.policy import Relation, gao_rexford_policy
@@ -23,6 +24,9 @@ from ..bgp.speaker import Speaker
 from .events import Simulator
 from .metering import TrafficMeter
 from .topology import Topology
+
+if TYPE_CHECKING:
+    from ..bgp.policy import NeighborConfig
 
 #: Traffic-meter category for plain BGP updates (§7.6).
 BGP_TRAFFIC = "bgp"
@@ -73,7 +77,7 @@ class Network:
     # Message transport
 
     def schedule_delivery(self, sender: int, category: str, nbytes: int,
-                          deliver) -> None:
+                          deliver: Callable[[], None]) -> None:
         """Meter ``nbytes`` against ``sender`` and schedule ``deliver``
         after one link delay.
 
@@ -186,6 +190,7 @@ class Network:
         return True
 
 
-def _feed_config(feed_asn: int, relation: Relation):
+def _feed_config(feed_asn: int, relation: Relation
+                 ) -> "NeighborConfig":
     from ..bgp.policy import NeighborConfig
     return NeighborConfig(asn=feed_asn, relation=relation)

@@ -60,7 +60,7 @@ class Topology:
         return tuple(sorted(nodes))
 
     def neighbors(self, asn: int) -> Tuple[int, ...]:
-        found = []
+        found: List[int] = []
         for edge in self.edges:
             if asn in edge:
                 (other,) = edge - {asn}

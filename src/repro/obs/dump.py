@@ -24,7 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .export import snapshot as export_snapshot, to_json, to_prometheus
 from .registry import Registry, use_registry
@@ -34,7 +34,7 @@ from .registry import Registry, use_registry
 # Snapshot aggregation (works on the exported dict, so a file snapshot
 # and a live registry render identically)
 
-def counter_by_label(snap: dict, name: str, label: str
+def counter_by_label(snap: Dict[str, Any], name: str, label: str
                      ) -> Dict[str, float]:
     out: Dict[str, float] = {}
     for entry in snap.get("counters", ()):
@@ -47,12 +47,12 @@ def counter_by_label(snap: dict, name: str, label: str
     return out
 
 
-def counter_total(snap: dict, name: str) -> float:
+def counter_total(snap: Dict[str, Any], name: str) -> float:
     return sum(entry["value"] for entry in snap.get("counters", ())
                if entry["name"] == name)
 
 
-def cpu_attribution(snap: dict) -> Dict[str, float]:
+def cpu_attribution(snap: Dict[str, Any]) -> Dict[str, float]:
     """§7.5: signatures / mtt / other from the CPU section counters."""
     sections = counter_by_label(snap, "cpu_seconds_total", "section")
     signatures = sections.get("signatures", 0.0)
@@ -67,11 +67,11 @@ def cpu_attribution(snap: dict) -> Dict[str, float]:
     return {"signatures": signatures, "mtt": mtt, "other": other}
 
 
-def traffic_attribution(snap: dict) -> Dict[str, float]:
+def traffic_attribution(snap: Dict[str, Any]) -> Dict[str, float]:
     return counter_by_label(snap, "traffic_bytes_total", "category")
 
 
-def storage_attribution(snap: dict) -> Dict[str, float]:
+def storage_attribution(snap: Dict[str, Any]) -> Dict[str, float]:
     return counter_by_label(snap, "storage_bytes_total", "kind")
 
 
@@ -85,12 +85,12 @@ def _table(title: str, rows: List[Tuple[str, str]]) -> str:
     return "\n".join(lines)
 
 
-def render_cost_table(snap: dict) -> str:
+def render_cost_table(snap: Dict[str, Any]) -> str:
     blocks: List[str] = []
 
     cpu = cpu_attribution(snap)
     total = sum(cpu.values())
-    rows = []
+    rows: List[Tuple[str, str]] = []
     for name in ("signatures", "mtt", "other"):
         seconds = cpu[name]
         share = seconds / total * 100 if total else 0.0
@@ -141,7 +141,7 @@ def render_cost_table(snap: dict) -> str:
 # ----------------------------------------------------------------------
 # Snapshot sources
 
-def scenario_snapshot() -> dict:
+def scenario_snapshot() -> Dict[str, Any]:
     """Run the two-node loopback exchange inside a fresh registry."""
     with use_registry(Registry()) as registry:
         from ..runtime.scenario import run_loopback_exchange
@@ -149,7 +149,7 @@ def scenario_snapshot() -> dict:
         return export_snapshot(registry)
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.dump",
         description="Render a repro.obs registry snapshot as the "

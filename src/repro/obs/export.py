@@ -19,7 +19,7 @@ the golden schema in the same commit.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .metrics import Counter, Gauge, Histogram
 from .registry import Registry, get_registry
@@ -29,12 +29,12 @@ SCHEMA_VERSION = 1
 
 
 def snapshot(registry: Optional[Registry] = None,
-             max_spans: Optional[int] = None) -> dict:
+             max_spans: Optional[int] = None) -> Dict[str, Any]:
     """The registry's full state as a JSON-serializable dict."""
     registry = registry if registry is not None else get_registry()
-    counters: List[dict] = []
-    gauges: List[dict] = []
-    histograms: List[dict] = []
+    counters: List[Dict[str, Any]] = []
+    gauges: List[Dict[str, Any]] = []
+    histograms: List[Dict[str, Any]] = []
     for metric in registry.metrics():
         entry = metric.to_dict()
         if isinstance(metric, Counter):

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Label sets are stored canonically as sorted (key, value) pairs.
 LabelSet = Tuple[Tuple[str, str], ...]
@@ -46,12 +46,12 @@ class Counter:
         self.labels = labels
         self.value = 0
 
-    def inc(self, amount=1) -> None:
+    def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
         self.value += amount
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {"name": self.name, "labels": dict(self.labels),
                 "value": self.value}
 
@@ -74,18 +74,18 @@ class Gauge:
         self.value = 0
         self.high_water = 0
 
-    def set(self, value) -> None:
+    def set(self, value: float) -> None:
         self.value = value
         if value > self.high_water:
             self.high_water = value
 
-    def inc(self, amount=1) -> None:
+    def inc(self, amount: float = 1) -> None:
         self.set(self.value + amount)
 
-    def dec(self, amount=1) -> None:
+    def dec(self, amount: float = 1) -> None:
         self.value -= amount
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {"name": self.name, "labels": dict(self.labels),
                 "value": self.value, "high_water": self.high_water}
 
@@ -130,17 +130,17 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def bucket_bounds(self):
+    def bucket_bounds(self) -> List[Tuple[float, int]]:
         """Sorted (upper_bound, count) pairs; the underflow bucket's
         upper bound is 0."""
-        items = []
+        items: List[Tuple[float, int]] = []
         for exponent, count in self.buckets.items():
             upper = 0.0 if exponent is None else float(2.0 **
                                                        (exponent + 1))
             items.append((upper, count))
         return sorted(items)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {"name": self.name, "labels": dict(self.labels),
                 "count": self.count, "sum": self.sum,
                 "min": self.min, "max": self.max,
@@ -166,6 +166,6 @@ class Span:
     def duration(self) -> float:
         return self.end - self.start
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {"name": self.name, "start": self.start, "end": self.end,
                 "labels": dict(self.labels)}

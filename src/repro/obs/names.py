@@ -1,0 +1,71 @@
+"""The canonical catalogue of instrumentation names.
+
+Every metric or span name written into the :mod:`repro.obs` registry
+must be a literal declared here (or a reference to one of these
+constants).  The golden snapshot-schema test and the Prometheus/JSON
+exporters treat metric names as a stable public schema; funneling the
+names through one module means a typo'd or ad-hoc name is a lint error
+(rule SPDR004 in :mod:`repro.analysis`) instead of a silently forked
+time series.
+
+Adding a metric is a two-step change by design: declare the name here,
+then use it at the call site — the diff shows the schema change
+explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+# -- crypto ------------------------------------------------------------
+SIGNATURES_MADE_TOTAL = "signatures_made_total"
+PAYLOADS_SIGNED_TOTAL = "payloads_signed_total"
+SIGNATURES_CHECKED_TOTAL = "signatures_checked_total"
+SIGN_SECONDS = "sign_seconds"
+SIGN_BATCH_SIZE = "sign_batch_size"
+VERIFY_SECONDS = "verify_seconds"
+
+# -- MTT labeling ------------------------------------------------------
+MTT_LABELINGS_TOTAL = "mtt_labelings_total"
+MTT_HASHES_TOTAL = "mtt_hashes_total"
+MTT_LABEL_SECONDS = "mtt_label_seconds"
+MTT_SUBTREE_SECONDS = "mtt_subtree_seconds"
+MTT_POOL_WORKERS = "mtt_pool_workers"
+MTT_POOL_JOBS = "mtt_pool_jobs"
+MTT_POOL_UTILIZATION = "mtt_pool_utilization"
+
+# -- SPIDeR node -------------------------------------------------------
+SPIDER_ALARMS_TOTAL = "spider_alarms_total"
+
+# -- meters (Section 7 cost attribution) -------------------------------
+TRAFFIC_BYTES_TOTAL = "traffic_bytes_total"
+CPU_SECONDS_TOTAL = "cpu_seconds_total"
+CPU_CALLS_TOTAL = "cpu_calls_total"
+CPU_SECTION_SECONDS = "cpu_section_seconds"
+STORAGE_BYTES_TOTAL = "storage_bytes_total"
+
+# -- runtime delivery --------------------------------------------------
+DELIVERY_TRACKED_TOTAL = "delivery_tracked_total"
+DELIVERY_RETRIES_TOTAL = "delivery_retries_total"
+DELIVERY_ACKS_MATCHED_TOTAL = "delivery_acks_matched_total"
+DELIVERY_GIVE_UPS_TOTAL = "delivery_give_ups_total"
+DELIVERY_PENDING = "delivery_pending"
+RETRY_BACKOFF_SECONDS = "retry_backoff_seconds"
+
+# -- transports --------------------------------------------------------
+TRANSPORT_FRAMES_SENT_TOTAL = "transport_frames_sent_total"
+TRANSPORT_BYTES_SENT_TOTAL = "transport_bytes_sent_total"
+TRANSPORT_FRAMES_RECEIVED_TOTAL = "transport_frames_received_total"
+TRANSPORT_BYTES_RECEIVED_TOTAL = "transport_bytes_received_total"
+TCP_QUEUE_DEPTH = "tcp_queue_depth"
+TCP_DECODE_ERRORS_TOTAL = "tcp_decode_errors_total"
+
+# -- span names --------------------------------------------------------
+SPAN_COMMITMENT = "commitment"
+
+#: Every declared metric/span name.  SPDR004 checks call-site literals
+#: against this set; the golden-schema test pins its contents.
+ALL_METRIC_NAMES: FrozenSet[str] = frozenset(
+    value for key, value in sorted(globals().items())
+    if key.isupper() and isinstance(value, str) and key != "ALL"
+)

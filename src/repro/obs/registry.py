@@ -27,8 +27,8 @@ from __future__ import annotations
 import itertools
 import threading
 from contextlib import contextmanager
-from typing import Callable, Deque, Dict, Iterator, List, Optional, \
-    Tuple, Union
+from typing import Deque, Dict, Iterator, List, Optional, Protocol, \
+    Tuple, Type, Union
 
 from collections import deque
 
@@ -36,6 +36,19 @@ from .metrics import Counter, Gauge, Histogram, LabelSet, Span, \
     canonical_labels
 
 Metric = Union[Counter, Gauge, Histogram]
+
+
+class ClockLike(Protocol):
+    """Anything that tells time through a ``now`` property (seconds).
+
+    Structural type shared across the codebase: the simulator clock,
+    stepped clocks, skewed clocks, and the wall clock all satisfy it,
+    so instrumented components stay deterministic whenever the clock
+    they are handed is.
+    """
+
+    @property
+    def now(self) -> float: ...
 
 #: Spans kept per registry; older spans are dropped (a trace ring).
 MAX_SPANS = 16384
@@ -59,7 +72,7 @@ class Registry:
     # ------------------------------------------------------------------
     # Metric accessors (create on first use, return the shared cell)
 
-    def _metric(self, factory, name: str,
+    def _metric(self, factory: Type[Metric], name: str,
                 labels: Dict[str, str]) -> Metric:
         key = (name, canonical_labels(labels))
         metric = self._metrics.get(key)
@@ -88,7 +101,8 @@ class Registry:
     # Spans
 
     @contextmanager
-    def span(self, name: str, clock, **labels: str) -> Iterator[None]:
+    def span(self, name: str, clock: ClockLike,
+             **labels: str) -> Iterator[None]:
         """Trace one operation with timestamps from ``clock.now``.
 
         ``clock`` is whatever the owning component keeps time with — the
@@ -112,7 +126,8 @@ class Registry:
         with self._lock:
             return list(self._metrics.values())
 
-    def _matching(self, name: str, match: Dict[str, str]):
+    def _matching(self, name: str, match: Dict[str, str]
+                  ) -> Iterator[Tuple[Dict[str, str], Metric]]:
         wanted = {(k, str(v)) for k, v in match.items()}
         for (metric_name, labels), metric in list(self._metrics.items()):
             if metric_name != name:
@@ -121,7 +136,7 @@ class Registry:
                 continue
             yield dict(labels), metric
 
-    def total(self, name: str, **match: str):
+    def total(self, name: str, **match: str) -> float:
         """Sum of a counter/gauge family over every matching label set."""
         total = 0
         for _labels, metric in self._matching(name, match):

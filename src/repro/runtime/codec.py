@@ -23,7 +23,7 @@ module.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from ..bgp.prefix import Prefix, PrefixError
 from ..bgp.route import Route
@@ -217,7 +217,7 @@ def _read_bit_proof(r: _Reader) -> MttBitProof:
     if bit not in (0, 1):
         raise CodecError(f"proof bit must be 0 or 1, got {bit}")
     blinding = r.raw(DIGEST_SIZE)
-    steps = []
+    steps: List[PathStep] = []
     for _ in range(r.u16()):
         n_children = r.u16()
         child_index = r.u16()
@@ -323,7 +323,8 @@ def _decode_bit_proof_msg(r: _Reader) -> SpiderBitProof:
                           envelope=_read_signed(r))
 
 
-_ENCODERS: Tuple[Tuple[type, int, Callable], ...] = (
+_ENCODERS: Tuple[Tuple[type, int,
+                       Callable[["_Writer", Any], None]], ...] = (
     (SpiderAnnounce, TAG_ANNOUNCE, _encode_announce),
     (SpiderWithdraw, TAG_WITHDRAW, _encode_withdraw),
     (SpiderAck, TAG_ACK, _encode_ack),

@@ -42,7 +42,7 @@ class RetryPolicy:
     #: Maximum transmissions, the original send included.
     max_attempts: int = 5
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.initial <= 0:
             raise ValueError("initial delay must be positive")
         if self.factor < 1:

@@ -19,7 +19,8 @@ import heapq
 import itertools
 import time
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, \
+    Protocol, Tuple
 
 from ..bgp.messages import Announce, Withdraw
 from ..bgp.prefix import Prefix
@@ -27,10 +28,18 @@ from ..bgp.route import Route
 from ..core.classes import ClassScheme
 from ..core.promise import Promise, total_order_promise
 from ..crypto.keys import Identity, KeyRegistry
+from ..obs.registry import ClockLike
 from ..spider.config import SpiderConfig
 from ..spider.node import SpiderNode
+from ..spider.recorder import CommitmentRecord, Recorder
 from .delivery import DeliveryService, RetryPolicy
 from .transport import Transport
+
+
+class SteppableClock(ClockLike, Protocol):
+    """A clock the runtime may move forward explicitly."""
+
+    def advance_to(self, t: float) -> None: ...
 
 
 class StepClock:
@@ -87,7 +96,7 @@ class TimerWheel:
     scripted run controls exactly when retries and Nagle flushes happen.
     """
 
-    def __init__(self, clock):
+    def __init__(self, clock: ClockLike):
         self.clock = clock
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
@@ -120,7 +129,7 @@ class NodeRuntime:
                  promises: Optional[Dict[int, Promise]] = None,
                  neighbors: Tuple[int, ...] = (),
                  config: Optional[SpiderConfig] = None,
-                 clock=None,
+                 clock: Optional[SteppableClock] = None,
                  retry_policy: Optional[RetryPolicy] = None,
                  retry_seed: int = 0):
         if promises is None:
@@ -147,7 +156,7 @@ class NodeRuntime:
         return self.node.asn
 
     @property
-    def recorder(self):
+    def recorder(self) -> Recorder:
         return self.node.recorder
 
     # ------------------------------------------------------------------
@@ -170,7 +179,7 @@ class NodeRuntime:
         self.recorder.mirror_sent_update(
             Withdraw(sender=self.asn, receiver=receiver, prefix=prefix))
 
-    def commit(self):
+    def commit(self) -> CommitmentRecord:
         """One commitment round (broadcasts to all known neighbors)."""
         return self.recorder.make_commitment()
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..bgp.prefix import Prefix
 from ..bgp.route import Route
@@ -185,7 +185,7 @@ def run_tcp_side(role: str, port: int, peer_port: int,
         transport.stop()
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Two-process SPIDeR exchange over localhost TCP")
     parser.add_argument("--role", choices=("a", "b"), required=True)

@@ -13,18 +13,22 @@ evaluation tables use.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from ..netsim.network import Network
 from .codec import encode_message
 from .framing import encode_frame
 from .transport import Transport
 
+if TYPE_CHECKING:
+    from ..spider.node import SpiderDeployment
+
 
 class SimTransport(Transport):
     """One AS's transport endpoint on the simulated network."""
 
-    def __init__(self, network: Network, asn: int, deployment,
+    def __init__(self, network: Network, asn: int,
+                 deployment: "SpiderDeployment",
                  category: str):
         super().__init__(asn)
         self.network = network
@@ -52,7 +56,8 @@ class SimTransport(Transport):
         node.receive_spider(message)
 
 
-def sim_transport_factory(deployment, asn: int) -> SimTransport:
+def sim_transport_factory(deployment: "SpiderDeployment",
+                          asn: int) -> SimTransport:
     """``transport_factory`` for :class:`SpiderDeployment`: every node
     sends through a :class:`SimTransport` instead of the bare closure."""
     from ..spider.node import SPIDER_TRAFFIC

@@ -113,7 +113,7 @@ class TcpTransport(Transport):
             return
         self._stopped = True
 
-        async def _shutdown():
+        async def _shutdown() -> None:
             if self._server is not None:
                 self._server.close()
                 await self._server.wait_closed()
@@ -170,7 +170,8 @@ class TcpTransport(Transport):
             if writer is not None:
                 writer.close()
 
-    async def _connect(self, host: str, port: int):
+    async def _connect(self, host: str,
+                       port: int) -> asyncio.StreamWriter:
         deadline = asyncio.get_event_loop().time() + self.connect_timeout
         backoff = _CONNECT_BACKOFF
         while True:

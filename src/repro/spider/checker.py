@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..bgp.prefix import Prefix
 from ..bgp.route import NULL_ROUTE, Route
@@ -60,7 +60,7 @@ class Checker:
         # Proofs in one batch share most path steps; memoize their
         # digests per (elector, root) so each distinct step hashes once.
         self._digest_cache: Optional[LabelDigestCache] = None
-        self._digest_cache_key: Optional[tuple] = None
+        self._digest_cache_key: Optional[Tuple[object, ...]] = None
 
     # ------------------------------------------------------------------
 

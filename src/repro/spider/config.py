@@ -39,7 +39,7 @@ class SpiderConfig:
     label_cut_depth: int = 4
     reconstruction_cache_size: int = 8
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.commit_interval <= 0:
             raise ValueError("commit_interval must be positive")
         if self.delta < 0:

@@ -19,12 +19,13 @@ take effect when sent, incoming when acknowledged.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from ..crypto.hashing import constant_time_eq
 from ..crypto.keys import KeyRegistry
 from .wire import SpiderAck, SpiderAnnounce, SpiderCommitment, \
     SpiderWithdraw
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitmentEquivocationPoM:
     """INVALIDCOMMIT at the SPIDeR level: two different signed
     commitments for the same commitment time (Section 4.5, carried over
@@ -44,13 +45,13 @@ def commitment_equivocation_valid(registry: KeyRegistry,
     return (
         pom.first.elector == pom.second.elector
         and abs(pom.first.commit_time - pom.second.commit_time) < 1e-6
-        and pom.first.root != pom.second.root
+        and not constant_time_eq(pom.first.root, pom.second.root)
         and pom.first.valid(registry)
         and pom.second.valid(registry)
     )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MissingAckEvidence:
     """The sender's record that a signed message was never acknowledged.
 
@@ -99,7 +100,7 @@ def missing_ack_evidence_valid(registry: KeyRegistry,
     return evidence.gave_up_at - evidence.first_sent >= ack_timeout
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ImportEvidence:
     """Producer-held proof that the elector had accepted its route."""
 
@@ -115,7 +116,7 @@ class ImportEvidence:
         return self.announce.receiver
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExportEvidence:
     """Consumer-held proof that the elector had announced a route to it."""
 
@@ -138,7 +139,8 @@ def import_evidence_valid(registry: KeyRegistry,
     if not announce.valid(registry) or not ack.valid(registry):
         return False
     if ack.acker != announce.receiver or \
-            ack.message_hash != announce.message_hash():
+            not constant_time_eq(ack.message_hash,
+                                 announce.message_hash()):
         return False
     # Effective when acknowledged, using the elector's (acker's) clock.
     return ack.timestamp < commit_time
@@ -160,7 +162,8 @@ def refute_import(registry: KeyRegistry, evidence: ImportEvidence,
     if withdraw.prefix != evidence.announce.prefix:
         return False
     if withdraw_ack.acker != evidence.elector or \
-            withdraw_ack.message_hash != withdraw.message_hash():
+            not constant_time_eq(withdraw_ack.message_hash,
+                                 withdraw.message_hash()):
         return False
     return evidence.ack.timestamp < withdraw_ack.timestamp < commit_time
 
@@ -191,6 +194,7 @@ def refute_export(registry: KeyRegistry, evidence: ExportEvidence,
     if withdraw.prefix != evidence.announce.prefix:
         return False
     if consumer_ack.acker != evidence.consumer or \
-            consumer_ack.message_hash != withdraw.message_hash():
+            not constant_time_eq(consumer_ack.message_hash,
+                                 withdraw.message_hash()):
         return False
     return evidence.announce.timestamp < withdraw.timestamp < commit_time

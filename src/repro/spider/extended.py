@@ -62,7 +62,7 @@ def producer_reannounces(node: SpiderNode, elector: int,
     """
     view = replay(node.recorder.log, node.asn, commit_time)
     exports = view.exports.get(elector, {})
-    messages = []
+    messages: List[SpiderAnnounce] = []
     for prefix, route in sorted(exports.items()):
         if prefix in suppress:
             continue
@@ -110,7 +110,7 @@ def run_extended_verification(
         messages = producer_reannounces(
             node, elector, commit_time,
             suppress=producer_suppress.get(producer, ()))
-        valid = {}
+        valid: Dict[Prefix, SpiderAnnounce] = {}
         for message in messages:
             if message.valid(registry) and message.reannounce and \
                     message.timestamp == commit_time:

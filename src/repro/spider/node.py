@@ -11,10 +11,12 @@ as tcpdump separates them in §7.6), and drives verification end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, \
+    Optional, Tuple
 
 from ..bgp.prefix import Prefix
 from ..core.classes import ClassScheme, path_length_scheme
+from ..crypto.hashing import constant_time_eq
 from ..core.promise import Promise, total_order_promise
 from ..crypto.keys import Identity, KeyRegistry, make_identity
 from ..netsim.metering import CpuMeter
@@ -23,8 +25,13 @@ from .checker import Checker, CheckReport
 from .checkpoint import replay
 from .config import SpiderConfig
 from .proofgen import ProofGenerator, ProofSet
-from .recorder import Recorder
+from ..obs.registry import ClockLike
+from .checkpoint import RoutingState
+from .recorder import CommitmentRecord, Recorder, Scheduler, Transport
 from .wire import SpiderCommitment
+
+if TYPE_CHECKING:
+    from .evidence import CommitmentEquivocationPoM
 
 #: Traffic categories (§7.6 separates BGP, SPIDeR, and proof traffic).
 SPIDER_TRAFFIC = "spider"
@@ -44,9 +51,10 @@ class SpiderNode:
 
     def __init__(self, identity: Identity, registry: KeyRegistry,
                  scheme: ClassScheme, promises: Dict[int, Promise],
-                 config: SpiderConfig, clock, transport,
-                 master_seed: bytes, recorder_factory=Recorder,
-                 schedule=None):
+                 config: SpiderConfig, clock: ClockLike,
+                 transport: Transport, master_seed: bytes,
+                 recorder_factory: Callable[..., Recorder] = Recorder,
+                 schedule: Optional[Scheduler] = None):
         self.identity = identity
         self.registry = registry
         self.recorder = recorder_factory(
@@ -72,7 +80,9 @@ class SpiderNode:
         if isinstance(message, SpiderCommitment):
             key = (message.elector, message.commit_time)
             if key in self.received_commitments and \
-                    self.received_commitments[key].root != message.root:
+                    not constant_time_eq(
+                        self.received_commitments[key].root,
+                        message.root):
                 self.recorder.alarm(
                     "equivocation",
                     f"equivocating commitment from AS{message.elector}")
@@ -84,7 +94,7 @@ class SpiderNode:
                         commit_time: float) -> Optional[SpiderCommitment]:
         return self.received_commitments.get((elector, commit_time))
 
-    def view_at(self, commit_time: float):
+    def view_at(self, commit_time: float) -> RoutingState:
         """This AS's logged view of the world at ``commit_time``."""
         return replay(self.recorder.log, self.asn, commit_time)
 
@@ -107,9 +117,15 @@ class SpiderDeployment:
                  scheme: Optional[ClassScheme] = None,
                  config: SpiderConfig = SpiderConfig(),
                  key_bits: int = 512, key_seed: int = 4242,
-                 promise_factory=None, recorder_factories=None,
-                 scheme_factory=None, participants=None,
-                 transport_factory=None):
+                 promise_factory: Optional[
+                     Callable[[int, int], Promise]] = None,
+                 recorder_factories: Optional[
+                     Dict[int, Callable[..., Recorder]]] = None,
+                 scheme_factory: Optional[
+                     Callable[[int], ClassScheme]] = None,
+                 participants: Optional[Iterable[int]] = None,
+                 transport_factory: Optional[Callable[
+                     ["SpiderDeployment", int], Transport]] = None):
         """``scheme``/``promise_factory`` configure a single global class
         scheme (the paper's evaluation setup).  ``scheme_factory(asn)``
         instead gives each elector its own scheme — used with
@@ -175,7 +191,7 @@ class SpiderDeployment:
     def node(self, asn: int) -> SpiderNode:
         return self.nodes[asn]
 
-    def _transport_for(self, sender: int):
+    def _transport_for(self, sender: int) -> Transport:
         if self.transport_factory is not None:
             return self.transport_factory(self, sender)
 
@@ -203,7 +219,7 @@ class SpiderDeployment:
                 lambda n=node: n.recorder.make_commitment(),
                 until=until)
 
-    def commit_now(self, asn: int):
+    def commit_now(self, asn: int) -> CommitmentRecord:
         """Trigger one immediate commitment at one AS."""
         return self.nodes[asn].recorder.make_commitment()
 
@@ -213,7 +229,7 @@ class SpiderDeployment:
     def verify(self, elector: int,
                commit_time: Optional[float] = None,
                neighbors: Optional[Iterable[int]] = None,
-               watch: Dict[int, List[Prefix]] = None,
+               watch: Optional[Dict[int, List[Prefix]]] = None,
                ) -> List[VerificationOutcome]:
         """Run full verification of one elector commitment.
 
@@ -272,7 +288,9 @@ class SpiderDeployment:
     # ------------------------------------------------------------------
     # The VERIFY broadcast cross-check (Section 4.5 over SPIDeR)
 
-    def cross_check_commitments(self, elector: int, commit_time: float):
+    def cross_check_commitments(
+            self, elector: int, commit_time: float,
+    ) -> "List[CommitmentEquivocationPoM]":
         """Neighbors compare the commitments they received; any two that
         differ form a transferable INVALIDCOMMIT proof.
 
@@ -282,7 +300,7 @@ class SpiderDeployment:
         """
         from .evidence import CommitmentEquivocationPoM, \
             commitment_equivocation_valid
-        held = {}
+        held: Dict[int, SpiderCommitment] = {}
         for neighbor in self.network.topology.neighbors(elector):
             node = self.nodes.get(neighbor)
             if node is None:
@@ -290,11 +308,11 @@ class SpiderDeployment:
             commitment = node.commitment_from(elector, commit_time)
             if commitment is not None:
                 held[neighbor] = commitment
-        poms = []
-        seen_roots = {}
+        poms: List[CommitmentEquivocationPoM] = []
+        seen_roots: Dict[bytes, SpiderCommitment] = {}
         for neighbor, commitment in sorted(held.items()):
             for other_root, other in seen_roots.items():
-                if commitment.root != other_root:
+                if not constant_time_eq(commitment.root, other_root):
                     pom = CommitmentEquivocationPoM(first=other,
                                                     second=commitment)
                     if commitment_equivocation_valid(self.registry, pom):

@@ -30,9 +30,10 @@ length) can actually keep:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..bgp.policy import Relation
+from ..netsim.topology import Topology
 from ..bgp.route import NULL_ROUTE
 from ..core.classes import ClassScheme, RouteOrNull
 from ..core.promise import Promise
@@ -120,7 +121,7 @@ class GaoRexfordScheme:
         customers_only = relation not in (Relation.CUSTOMER,
                                           Relation.SIBLING)
         k = self.scheme.k
-        pairs = set()
+        pairs: Set[Tuple[int, int]] = set()
         infos = [self.class_info(i) for i in range(k)]
         for a in range(1, k):
             group_a, rank_a, len_a = infos[a]
@@ -153,7 +154,7 @@ class GaoRexfordPromises:
                          promise_factory=grp.promise_for)
     """
 
-    def __init__(self, topology, max_length: int = 8):
+    def __init__(self, topology: Topology, max_length: int = 8):
         self.topology = topology
         self.max_length = max_length
         self._bundles: Dict[int, GaoRexfordScheme] = {}

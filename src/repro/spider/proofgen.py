@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List
 
 from ..bgp.prefix import Prefix
+from ..crypto.hashing import constant_time_eq
 from ..bgp.route import NULL_ROUTE
 from ..crypto.rc4 import Rc4Csprng
 from ..mtt.labeling import label_tree_with_workers
@@ -146,7 +147,8 @@ class ProofGenerator:
             tree, Rc4Csprng(seed),
             workers=recorder.config.commit_workers,
             cut_depth=recorder.config.label_cut_depth)
-        if report.root_label != entry.payload["root"]:
+        if not constant_time_eq(report.root_label,
+                                entry.payload["root"]):
             raise RuntimeError(
                 "reconstructed MTT root differs from the committed root — "
                 "log replay is broken"

@@ -14,7 +14,8 @@ bit-for-bit the same MTT (Section 6.5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, \
+    Set, Tuple
 
 from ..bgp.messages import Announce, Update
 from ..bgp.prefix import Prefix
@@ -29,14 +30,18 @@ from ..crypto.signatures import Signed, Signer, Verifier
 from ..mtt.labeling import label_tree_with_workers
 from ..mtt.tree import Mtt
 from ..netsim.metering import CpuMeter, StorageMeter
-from ..obs.registry import get_registry
+from ..obs.registry import ClockLike, get_registry
 from .checkpoint import RoutingState, apply_entry, elector_view, \
     take_checkpoint
 from .config import SpiderConfig
-from .log import EntryKind, SpiderLog
+from .log import EntryKind, LogEntry, SpiderLog
 from .wire import SpiderAck, SpiderAnnounce, SpiderCommitment, \
     SpiderWithdraw, ack_payload, announce_payload, \
     route_signature_payload, withdraw_payload
+
+if TYPE_CHECKING:
+    from ..bgp.speaker import Speaker
+    from ..netsim.events import Simulator
 
 
 @dataclass
@@ -87,7 +92,8 @@ class Recorder:
 
     def __init__(self, identity: Identity, registry: KeyRegistry,
                  scheme: ClassScheme, promises: Dict[int, Promise],
-                 config: SpiderConfig, clock, transport: Transport,
+                 config: SpiderConfig, clock: ClockLike,
+                 transport: Transport,
                  schedule: Optional[Scheduler] = None,
                  master_seed: bytes = b"spider-master",
                  cpu: Optional[CpuMeter] = None):
@@ -159,7 +165,7 @@ class Recorder:
                       EntryKind.CHECKPOINT: "checkpoints"}
 
     def _log_append(self, timestamp: float, kind: EntryKind,
-                    message: object, size_bytes: int):
+                    message: object, size_bytes: int) -> LogEntry:
         """Append to the tamper-evident log, metering durable growth
         (the Section 7.7 storage accounting rides on every append)."""
         self.storage.record(self._STORAGE_KINDS.get(kind, "log"),
@@ -463,7 +469,7 @@ class Recorder:
         neighbors.discard(self.asn)
         return sorted(neighbors)
 
-    def start_periodic_commitments(self, sim) -> None:
+    def start_periodic_commitments(self, sim: "Simulator") -> None:
         """Hook the commitment timer onto the event loop."""
         sim.every(self.config.commit_interval,
                   lambda: self.make_commitment())
@@ -471,7 +477,7 @@ class Recorder:
     # ------------------------------------------------------------------
     # Consistency check (Section 6.2, last paragraph)
 
-    def mirror_consistent(self, speaker) -> bool:
+    def mirror_consistent(self, speaker: "Speaker") -> bool:
         """Do the signed SPIDeR announcements match the BGP state?
 
         Compares our import mirror with the speaker's raw Adj-RIB-In; a

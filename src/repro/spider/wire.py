@@ -26,7 +26,7 @@ from typing import Optional
 
 from ..bgp.prefix import Prefix
 from ..bgp.route import Route
-from ..crypto.hashing import digest, digest_fields
+from ..crypto.hashing import constant_time_eq, digest, digest_fields
 from ..crypto.keys import KeyRegistry
 from ..crypto.signatures import Signed, Signer, Verifier
 
@@ -64,7 +64,8 @@ def sign_route(signer: Signer, route: Route) -> Signed:
 def route_signature_valid(registry: KeyRegistry, signer_asn: int,
                           route: Route, envelope: Signed) -> bool:
     return (envelope.signer == signer_asn
-            and envelope.payload == route_signature_payload(route)
+            and constant_time_eq(envelope.payload,
+                                 route_signature_payload(route))
             and Verifier(registry).verify(envelope))
 
 
@@ -80,7 +81,7 @@ def announce_payload(sender: int, receiver: int, timestamp: float,
         underlying_part, route_sig.signature)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpiderAnnounce:
     """A signed, timestamped route announcement."""
 
@@ -129,7 +130,7 @@ class SpiderAnnounce:
                                     self.timestamp, self.route,
                                     self.underlying, self.route_sig,
                                     reannounce=self.reannounce)
-        return self.envelope.payload == expected and \
+        return constant_time_eq(self.envelope.payload, expected) and \
             Verifier(registry).verify(self.envelope)
 
     def wire_size(self) -> int:
@@ -146,7 +147,7 @@ def withdraw_payload(sender: int, receiver: int, timestamp: float,
                          _time_bytes(timestamp), prefix.to_bytes())
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpiderWithdraw:
     """``σ_E(WITHDRAW, t, C, p)``."""
 
@@ -172,7 +173,7 @@ class SpiderWithdraw:
             return False
         expected = withdraw_payload(self.sender, self.receiver,
                                     self.timestamp, self.prefix)
-        return self.envelope.payload == expected and \
+        return constant_time_eq(self.envelope.payload, expected) and \
             Verifier(registry).verify(self.envelope)
 
     def wire_size(self) -> int:
@@ -186,7 +187,7 @@ def ack_payload(acker: int, sender: int, timestamp: float,
                          _time_bytes(timestamp), message_hash)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpiderAck:
     """``σ_r(ACK, t, C, H(m))``: the receiver's receipt for a message."""
 
@@ -209,7 +210,7 @@ class SpiderAck:
             return False
         expected = ack_payload(self.acker, self.sender, self.timestamp,
                                self.message_hash)
-        return self.envelope.payload == expected and \
+        return constant_time_eq(self.envelope.payload, expected) and \
             Verifier(registry).verify(self.envelope)
 
     def wire_size(self) -> int:
@@ -222,7 +223,7 @@ def commitment_payload(elector: int, commit_time: float,
                          _time_bytes(commit_time), root)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpiderCommitment:
     """The periodic signed MTT-root commitment (Section 5.3 / 6.1)."""
 
@@ -243,7 +244,7 @@ class SpiderCommitment:
             return False
         expected = commitment_payload(self.elector, self.commit_time,
                                       self.root)
-        return self.envelope.payload == expected and \
+        return constant_time_eq(self.envelope.payload, expected) and \
             Verifier(registry).verify(self.envelope)
 
     def wire_size(self) -> int:
@@ -257,7 +258,7 @@ def bit_proof_payload(elector: int, recipient: int, commit_time: float,
                          _time_bytes(commit_time), proof_bytes)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpiderBitProof:
     """A signed MTT bit proof for one (prefix, class) of one commitment."""
 
@@ -269,7 +270,7 @@ class SpiderBitProof:
 
     @classmethod
     def make(cls, signer: Signer, recipient: int, commit_time: float,
-             proof) -> "SpiderBitProof":
+             proof: "MttBitProof") -> "SpiderBitProof":
         payload = bit_proof_payload(signer.asn, recipient, commit_time,
                                     proof.encode())
         return cls(elector=signer.asn, recipient=recipient,
@@ -282,7 +283,7 @@ class SpiderBitProof:
         expected = bit_proof_payload(self.elector, self.recipient,
                                      self.commit_time,
                                      self.proof.encode())
-        return self.envelope.payload == expected and \
+        return constant_time_eq(self.envelope.payload, expected) and \
             Verifier(registry).verify(self.envelope)
 
     def wire_size(self) -> int:

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List
 
+from ..bgp.prefix import Prefix
 from ..netsim.network import TraceEvent
 from .workload import RibEntry, generate_path, generate_rib_snapshot
 
@@ -128,7 +129,7 @@ def synthetic_trace(config: TraceConfig = TraceConfig()) -> SyntheticTrace:
     times = [setup_duration + s / span * config.replay_seconds
              for s in schedule]
 
-    withdrawn: dict = {}
+    withdrawn: Dict[Prefix, bool] = {}
     pool = list(range(3000, 5000))
     replay_events: List[TraceEvent] = []
     for at in times:

@@ -1,0 +1,22 @@
+"""SPDR001 clean fixture: the deterministic counterparts of entropy_leak.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+import random
+
+
+def rng(seed):
+    return random.Random(seed)
+
+
+def blindings(seed, count):
+    generator = random.Random(seed)
+    return [generator.randbytes(20) for _ in range(count)]
+
+
+def encode(labels):
+    out = bytearray()
+    for label in sorted(labels):
+        out += label
+    return bytes(out)

@@ -1,0 +1,36 @@
+"""SPDR001 trigger fixture: every construct below must be flagged.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+import os
+import random
+import secrets
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def blind():
+    return os.urandom(20)
+
+
+def rng():
+    return random.Random()
+
+
+def pick(values):
+    return random.choice(values)
+
+
+def token():
+    return secrets.token_bytes(20)
+
+
+def encode(first, second):
+    out = bytearray()
+    for label in {first, second}:
+        out += label
+    return bytes(out)

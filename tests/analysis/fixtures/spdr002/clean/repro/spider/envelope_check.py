@@ -1,0 +1,16 @@
+"""SPDR002 clean fixture: constant-time or genuinely non-secret equality.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+
+def envelope_ok(envelope, expected, constant_time_eq):
+    return constant_time_eq(envelope.payload, expected)
+
+
+def signer_matches(envelope, asn):
+    return envelope.signer == asn
+
+
+def root_missing(root):
+    return root is None

@@ -1,0 +1,12 @@
+"""SPDR002 trigger fixture: bare ``==``/``!=`` on digest material.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+
+def envelope_ok(envelope, expected):
+    return envelope.payload == expected
+
+
+def root_changed(old_root, new_root):
+    return old_root != new_root

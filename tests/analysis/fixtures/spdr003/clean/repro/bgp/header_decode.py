@@ -1,0 +1,30 @@
+"""SPDR003 clean fixture: bounds-checked decoders that fail closed.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+import struct
+
+
+def decode_kind(data):
+    if len(data) < 1:
+        raise ValueError("empty buffer")
+    return data[0]
+
+
+class Header:
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) < 5:
+            raise ValueError("truncated header")
+        return data[0], data[1:5]
+
+
+def decode_pair(buf):
+    if len(buf) < 4:
+        raise ValueError("short pair")
+    try:
+        return struct.unpack(">HH", buf[:4])
+    except struct.error as exc:
+        raise ValueError("malformed pair") from exc

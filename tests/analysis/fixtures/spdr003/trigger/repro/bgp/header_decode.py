@@ -1,0 +1,23 @@
+"""SPDR003 trigger fixture: decoders that leak IndexError/struct.error.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+import struct
+
+
+def decode_kind(data):
+    return data[0]
+
+
+class Header:
+
+    @classmethod
+    def from_bytes(cls, data):
+        kind = data[0]
+        body = data[1:5]
+        return kind, body
+
+
+def decode_pair(buf):
+    return struct.unpack(">HH", buf)

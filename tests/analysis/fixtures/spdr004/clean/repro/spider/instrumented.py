@@ -1,0 +1,11 @@
+"""SPDR004 clean fixture: names come from the obs/names.py catalogue.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+from ..obs import names
+
+
+def record(registry):
+    registry.counter("spider_alarms_total").inc()
+    registry.histogram(names.SIGN_SECONDS).observe(0.1)

@@ -1,0 +1,10 @@
+"""SPDR004 trigger fixture: metric names invented at the call site.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+
+def record(registry, kind):
+    registry.counter("bogus_events_total").inc()
+    registry.histogram("made_up_seconds").observe(0.1)
+    registry.counter("prefix_" + kind).inc()

@@ -1,0 +1,16 @@
+"""SPDR005 clean fixture: compliant wire dataclasses.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SpiderPing:
+    sender: int
+    receiver: int
+
+
+class PlainHelper:
+    """Not a dataclass — out of the rule's reach by design."""

@@ -1,0 +1,18 @@
+"""SPDR005 trigger fixture: wire dataclasses missing frozen/slots.
+
+This file is parsed by the lint self-tests, never imported; its path
+places it in the wire-module scope of the rule.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SpiderPing:
+    sender: int
+    receiver: int
+
+
+@dataclass(frozen=True)
+class SpiderPong:
+    sender: int

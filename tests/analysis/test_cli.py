@@ -1,0 +1,115 @@
+"""CLI acceptance tests: ``python -m repro.analysis`` exit codes.
+
+These drive :func:`repro.analysis.cli.main` in-process with the same
+argv CI uses, covering the acceptance criteria: exit 0 on the repo's
+own ``src`` tree, non-zero on every rule's trigger fixture.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import load_baseline, write_baseline
+from repro.analysis.cli import main
+
+HERE = Path(__file__).parent
+FIXTURES = HERE / "fixtures"
+REPO = HERE.parents[1]
+RULE_IDS = ("SPDR001", "SPDR002", "SPDR003", "SPDR004", "SPDR005")
+
+
+def test_repo_src_is_clean():
+    assert main([str(REPO / "src")]) == 0
+
+
+def test_repo_src_is_clean_under_committed_baseline():
+    baseline = REPO / "analysis-baseline.json"
+    assert baseline.is_file(), "committed baseline missing"
+    assert main([str(REPO / "src"), "--baseline", str(baseline)]) == 0
+
+
+def test_committed_baseline_is_empty():
+    # All pre-existing findings were fixed in this PR; the ratchet
+    # starts at zero and may only stay there.
+    assert load_baseline(str(REPO / "analysis-baseline.json")) == set()
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_trigger_fixture_exits_nonzero(rule_id):
+    target = FIXTURES / rule_id.lower() / "trigger"
+    assert main([str(target)]) == 1
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_clean_fixture_exits_zero(rule_id):
+    target = FIXTURES / rule_id.lower() / "clean"
+    assert main([str(target)]) == 0
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULE_IDS:
+        assert rule_id in out
+
+
+def test_rules_filter_limits_scope():
+    # The SPDR001 trigger is pure: filtering to SPDR005 finds nothing.
+    target = FIXTURES / "spdr001" / "trigger"
+    assert main([str(target), "--rules", "SPDR005"]) == 0
+    assert main([str(target), "--rules", "SPDR001"]) == 1
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(SystemExit):
+        main([str(FIXTURES / "spdr001" / "trigger"),
+              "--rules", "SPDR999"])
+
+
+def test_json_output_shape(capsys):
+    target = FIXTURES / "spdr002" / "trigger"
+    assert main([str(target), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["files_analyzed"] == 1
+    assert doc["parse_errors"] == []
+    assert len(doc["findings"]) == 2
+    for finding in doc["findings"]:
+        assert set(finding) == {"rule", "path", "line", "column",
+                                "message", "fingerprint"}
+        assert finding["rule"] == "SPDR002"
+
+
+def test_write_baseline_then_lint_against_it(tmp_path):
+    target = FIXTURES / "spdr003" / "trigger"
+    baseline = tmp_path / "baseline.json"
+    assert main([str(target), "--write-baseline", str(baseline)]) == 0
+    # Every finding is now grandfathered: the same tree lints clean.
+    assert main([str(target), "--baseline", str(baseline)]) == 0
+    # But the findings still exist without the baseline.
+    assert main([str(target)]) == 1
+
+
+def test_check_shrunk_exit_codes(tmp_path):
+    target = FIXTURES / "spdr004" / "trigger"
+    full = tmp_path / "full.json"
+    empty = tmp_path / "empty.json"
+    assert main([str(target), "--write-baseline", str(full)]) == 0
+    write_baseline(str(empty), [])
+    # Shrinking (or standing still) passes; growing fails.
+    assert main(["--check-shrunk", str(full), str(empty)]) == 0
+    assert main(["--check-shrunk", str(full), str(full)]) == 0
+    assert main(["--check-shrunk", str(empty), str(full)]) == 1
+
+
+def test_check_shrunk_malformed_baseline_is_usage_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("[]")
+    good = tmp_path / "good.json"
+    write_baseline(str(good), [])
+    assert main(["--check-shrunk", str(bad), str(good)]) == 2
+
+
+def test_missing_baseline_is_usage_error(tmp_path):
+    assert main([str(FIXTURES / "spdr001" / "clean"),
+                 "--baseline", str(tmp_path / "absent.json")]) == 2

@@ -1,0 +1,76 @@
+"""Per-rule self-tests: every rule fires on its trigger fixture and
+stays quiet on its clean fixture.
+
+The fixtures live under ``fixtures/<rule>/<trigger|clean>/repro/...`` —
+the engine normalizes paths to their ``repro/``-rooted suffix, so the
+virtual modules land inside each rule's real scope and are linted by
+the same code path as the production tree.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Engine, all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> number of findings its trigger fixture must produce.
+EXPECTED_TRIGGER_COUNTS = {
+    "SPDR001": 6,   # time.time, urandom, Random(), choice, secrets, set-iter
+    "SPDR002": 2,   # payload ==, *_root !=
+    "SPDR003": 4,   # 3 unguarded subscripts + 1 naked struct.unpack
+    "SPDR004": 3,   # 2 undeclared literals + 1 computed name
+    "SPDR005": 2,   # missing both flags; missing slots only
+}
+
+RULE_IDS = sorted(EXPECTED_TRIGGER_COUNTS)
+
+
+def _analyze(rule_id: str, variant: str):
+    target = FIXTURES / rule_id.lower() / variant
+    assert target.is_dir(), f"fixture dir missing: {target}"
+    return Engine(all_rules()).analyze_paths([str(target)])
+
+
+def test_every_rule_has_both_fixtures():
+    for rule in all_rules():
+        for variant in ("trigger", "clean"):
+            fixture_dir = FIXTURES / rule.rule_id.lower() / variant
+            assert fixture_dir.is_dir(), fixture_dir
+            assert list(fixture_dir.rglob("*.py")), fixture_dir
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_trigger_fixture_fires(rule_id):
+    result = _analyze(rule_id, "trigger")
+    assert not result.parse_errors
+    fired = {finding.rule_id for finding in result.findings}
+    # Fixtures are single-rule pure: exactly the rule under test fires.
+    assert fired == {rule_id}
+    assert len(result.findings) == EXPECTED_TRIGGER_COUNTS[rule_id]
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_clean_fixture_is_quiet(rule_id):
+    result = _analyze(rule_id, "clean")
+    assert not result.parse_errors
+    assert result.findings == []
+    assert result.suppressed == 0
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_trigger_findings_carry_normalized_paths(rule_id):
+    result = _analyze(rule_id, "trigger")
+    for finding in result.findings:
+        assert finding.path.startswith("repro/"), finding.path
+        assert finding.line >= 1
+        assert finding.message
+
+
+def test_rule_catalogue_is_complete_and_sorted():
+    rules = all_rules()
+    assert [rule.rule_id for rule in rules] == RULE_IDS
+    assert all(rule.title for rule in rules)
+    # Fresh instances each call: no shared mutable state between runs.
+    assert rules[0] is not all_rules()[0]

@@ -1,0 +1,26 @@
+"""Strict-mypy gate, run wherever mypy is installed (CI always is).
+
+The whole of ``src/repro`` ships a ``py.typed`` marker and is expected
+to pass ``mypy --strict`` under the ``[tool.mypy]`` config in
+pyproject.toml.  Environments without mypy (the minimal test image)
+skip this module; the CI ``analysis`` job installs mypy and runs both
+this test and the standalone ``mypy`` invocation.
+"""
+
+from pathlib import Path
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api")
+
+REPO = Path(__file__).parents[2]
+
+
+def test_src_repro_passes_strict_mypy():
+    stdout, stderr, status = mypy_api.run(
+        ["--config-file", str(REPO / "pyproject.toml")])
+    assert status == 0, f"mypy --strict failed:\n{stdout}\n{stderr}"
+
+
+def test_py_typed_marker_ships():
+    assert (REPO / "src" / "repro" / "py.typed").is_file()
