@@ -11,9 +11,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import total_ordering
-from typing import Iterator, Tuple
+from typing import Dict, Iterator, Tuple, Union
 
 MAX_PREFIX_LEN = 32
+
+#: Decoded prefixes are interned (see :meth:`Prefix.from_bytes`): real
+#: update streams repeat the same prefixes constantly, and the universe
+#: of distinct prefixes in any workload is small, so decode can usually
+#: return a shared immutable instance instead of re-validating and
+#: re-allocating.  The table is cleared wholesale when it fills — a
+#: crude but branch-cheap bound that keeps memory finite under
+#: adversarial (never-repeating) input.
+_INTERN_LIMIT = 1 << 16
+_INTERNED: Dict[bytes, "Prefix"] = {}
 
 
 class PrefixError(ValueError):
@@ -119,10 +129,25 @@ class Prefix:
         return self.address.to_bytes(4, "big") + bytes([self.length])
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "Prefix":
+    def from_bytes(cls,
+                   data: Union[bytes, bytearray, memoryview]) -> "Prefix":
         if len(data) != 5:
             raise PrefixError("prefix encoding must be 5 bytes")
-        return cls(address=int.from_bytes(data[:4], "big"), length=data[4])
+        # ``bytes(data)`` is a no-op for bytes input (immutable, same
+        # object) and a 5-byte materialization for memoryview/bytearray;
+        # either way it is the hashable intern key.  Prefix is frozen,
+        # so handing every caller the same instance is safe, and only
+        # *valid* encodings enter the table — corrupt ones raise in the
+        # constructor before they can be cached.
+        key = bytes(data)
+        cached = _INTERNED.get(key)
+        if cached is None:
+            cached = cls(address=int.from_bytes(key[:4], "big"),
+                         length=key[4])
+            if len(_INTERNED) >= _INTERN_LIMIT:
+                _INTERNED.clear()
+            _INTERNED[key] = cached
+        return cached
 
     def __str__(self) -> str:
         return f"{self._format_address(self.address)}/{self.length}"

@@ -14,11 +14,12 @@ promises may rank above real routes to express never-export semantics.
 from __future__ import annotations
 
 import enum
+import struct
 from dataclasses import dataclass, field, replace
-from typing import FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple, Union
 
 from .communities import Community, encode_community, format_community
-from .prefix import Prefix
+from .prefix import Prefix, _INTERNED as _PREFIX_CACHE
 
 #: Default LOCAL_PREF when policy assigns none (Cisco/Quagga convention).
 DEFAULT_LOCAL_PREF = 100
@@ -30,6 +31,19 @@ class Origin(enum.IntEnum):
     IGP = 0
     EGP = 1
     INCOMPLETE = 2
+
+
+#: Decode-path helpers: the fixed attribute tail after the AS path
+#: (local_pref i32 | med u32 | origin u8 | router_id u32 | comm_count
+#: u16), per-length AS-path structs (cached — path lengths in real
+#: tables cluster under a few dozen values), the Origin lookup that
+#: skips ``EnumMeta.__call__`` dispatch, and the shared empty community
+#: set (most routes carry none).
+_ROUTE_TAIL = struct.Struct(">iIBIH")
+_PATH_STRUCTS: Dict[int, struct.Struct] = {}
+_ORIGIN_BY_CODE: Tuple[Origin, ...] = tuple(
+    Origin(code) for code in sorted(o.value for o in Origin))
+_EMPTY_COMMUNITIES: FrozenSet[Community] = frozenset()
 
 
 class NullRoute:
@@ -138,46 +152,86 @@ class Route:
         return bytes(out)
 
     @classmethod
-    def from_bytes(cls, data: bytes, neighbor: int = 0) -> "Route":
-        """Inverse of :meth:`to_bytes` (``neighbor`` is receiver-local)."""
-        if len(data) < 6:
-            raise ValueError("route encoding too short")
-        prefix = Prefix.from_bytes(data[:5])
-        pos = 5
-        n_path = data[pos]
-        pos += 1
+    def from_bytes(cls, data: Union[bytes, bytearray, memoryview],
+                   neighbor: int = 0) -> "Route":
+        """Inverse of :meth:`to_bytes` (``neighbor`` is receiver-local).
+
+        This is the runtime codec's hot path, so it parses with
+        pre-compiled :class:`struct.Struct` instances over whatever
+        buffer it is handed (bytes or a zero-copy memoryview window)
+        and builds the instance via ``__new__`` plus direct slot
+        writes — the generated frozen-dataclass ``__init__`` spends
+        one ``object.__setattr__`` dispatch per field, which at
+        hundreds of thousands of routes per second is most of the
+        decode budget.  Every ``__post_init__`` invariant is enforced
+        inline (the AS-path loop check below; prefix validation happens
+        inside :meth:`Prefix.from_bytes`).
+        """
+        size = len(data)
         # Bounds-check before reading: a truncated encoding must fail as
         # ValueError (which the codec maps to CodecError), never as an
-        # IndexError from indexing past the end, and never by letting a
-        # short slice silently decode as a smaller integer.
-        if len(data) < pos + 4 * n_path + 15:
+        # IndexError from indexing past the end, never as struct.error,
+        # and never by letting a short slice silently decode as a
+        # smaller integer.
+        if size < 6:
+            raise ValueError("route encoding too short")
+        # Inlined fast path of :meth:`Prefix.from_bytes`: one dict probe
+        # against the intern table; only a miss pays the classmethod
+        # call (which validates, then populates the table).
+        key = bytes(data[:5])
+        prefix = _PREFIX_CACHE.get(key)
+        if prefix is None:
+            prefix = Prefix.from_bytes(key)
+        n_path = data[5]
+        tail = 6 + 4 * n_path
+        if size < tail + 15:
             raise ValueError("route encoding truncated")
-        path = tuple(int.from_bytes(data[pos + 4 * i:pos + 4 * i + 4], "big")
-                     for i in range(n_path))
-        pos += 4 * n_path
-        local_pref = int.from_bytes(data[pos:pos + 4], "big", signed=True)
-        pos += 4
-        med = int.from_bytes(data[pos:pos + 4], "big")
-        pos += 4
-        origin = Origin(data[pos])
-        pos += 1
-        router_id = int.from_bytes(data[pos:pos + 4], "big")
-        pos += 4
-        n_comm = int.from_bytes(data[pos:pos + 2], "big")
-        pos += 2
-        if len(data) < pos + 4 * n_comm:
+        if n_path:
+            path_struct = _PATH_STRUCTS.get(n_path)
+            if path_struct is None:
+                path_struct = struct.Struct(f">{n_path}I")
+                _PATH_STRUCTS[n_path] = path_struct
+            path = path_struct.unpack_from(data, 6)
+            # Loop check (the __post_init__ invariant): a single-hop
+            # path cannot repeat, a two-hop path needs one compare, and
+            # only longer paths pay for a set build.
+            if n_path > 2:
+                if len(set(path)) != n_path:
+                    raise ValueError(f"AS path {path} contains a loop")
+            elif n_path == 2 and path[0] == path[1]:
+                raise ValueError(f"AS path {path} contains a loop")
+        else:
+            path = ()
+        local_pref, med, origin_code, router_id, n_comm = \
+            _ROUTE_TAIL.unpack_from(data, tail)
+        if origin_code >= len(_ORIGIN_BY_CODE):
+            raise ValueError(f"{origin_code} is not a valid Origin")
+        origin = _ORIGIN_BY_CODE[origin_code]
+        pos = tail + 15
+        end = pos + 4 * n_comm
+        if size < end:
             raise ValueError("route encoding truncated")
-        comms = frozenset(
-            (int.from_bytes(data[pos + 4 * i:pos + 4 * i + 2], "big"),
-             int.from_bytes(data[pos + 4 * i + 2:pos + 4 * i + 4], "big"))
-            for i in range(n_comm)
-        )
-        pos += 4 * n_comm
-        if pos != len(data):
+        if size != end:
             raise ValueError("trailing bytes in route encoding")
-        return cls(prefix=prefix, as_path=path, neighbor=neighbor,
-                   local_pref=local_pref, med=med, origin=origin,
-                   communities=comms, router_id=router_id)
+        if n_comm:
+            comms = frozenset(
+                (int.from_bytes(data[pos + 4 * i:pos + 4 * i + 2], "big"),
+                 int.from_bytes(data[pos + 4 * i + 2:pos + 4 * i + 4],
+                                "big"))
+                for i in range(n_comm)
+            )
+        else:
+            comms = _EMPTY_COMMUNITIES
+        route = cls.__new__(cls)
+        _set_prefix(route, prefix)
+        _set_as_path(route, path)
+        _set_neighbor(route, neighbor)
+        _set_local_pref(route, local_pref)
+        _set_med(route, med)
+        _set_origin(route, origin)
+        _set_communities(route, comms)
+        _set_router_id(route, router_id)
+        return route
 
     def __str__(self) -> str:
         path = " ".join(str(a) for a in self.as_path) or "local"
@@ -186,6 +240,22 @@ class Route:
         extra = f" [{comms}]" if comms else ""
         return (f"{self.prefix} via {path} "
                 f"(lp={self.local_pref}){extra}")
+
+
+#: Bound slot descriptors for the decode fast path.  The frozen
+#: dataclass blocks ``setattr`` but the slots' member descriptors write
+#: directly, skipping both the frozen-``__setattr__`` override and the
+#: per-call attribute-name hashing of ``object.__setattr__`` — roughly
+#: 2.5x cheaper per field.  Looked up once here so a field rename or
+#: reorder fails at import time, not silently at decode time.
+_set_prefix = Route.__dict__["prefix"].__set__
+_set_as_path = Route.__dict__["as_path"].__set__
+_set_neighbor = Route.__dict__["neighbor"].__set__
+_set_local_pref = Route.__dict__["local_pref"].__set__
+_set_med = Route.__dict__["med"].__set__
+_set_origin = Route.__dict__["origin"].__set__
+_set_communities = Route.__dict__["communities"].__set__
+_set_router_id = Route.__dict__["router_id"].__set__
 
 
 def originate(prefix: Prefix, asn: int) -> Route:

@@ -60,6 +60,14 @@ TRANSPORT_BYTES_RECEIVED_TOTAL = "transport_bytes_received_total"
 TCP_QUEUE_DEPTH = "tcp_queue_depth"
 TCP_DECODE_ERRORS_TOTAL = "tcp_decode_errors_total"
 
+# -- node runtime ------------------------------------------------------
+RUNTIME_INBOX_DEPTH = "runtime_inbox_depth"
+
+# -- soak scenario -----------------------------------------------------
+SOAK_SESSIONS = "soak_sessions"
+SOAK_MESSAGES_SENT_TOTAL = "soak_messages_sent_total"
+SOAK_ACKS_RECEIVED_TOTAL = "soak_acks_received_total"
+
 # -- span names --------------------------------------------------------
 SPAN_COMMITMENT = "commitment"
 

@@ -17,17 +17,21 @@ package gives it a wire.  It provides, bottom-up:
 * :mod:`~repro.runtime.node_runtime` — a per-process host bundling
   clock, timers, inbox, and one :class:`~repro.spider.node.SpiderNode`;
 * :mod:`~repro.runtime.simadapter` — the netsim event loop behind the
-  same Transport interface, so simulation and deployment share code.
+  same Transport interface, so simulation and deployment share code;
+* :mod:`~repro.runtime.soak` — the many-peer soak scenario: 50+
+  concurrent sessions against one node runtime, with per-peer
+  backpressure metrics.
 """
 
 from .codec import CodecError, WIRE_VERSION, decode_message, \
     encode_message
 from .delivery import DeliveryService, PendingDelivery, RetryPolicy
 from .framing import FrameDecoder, FramingError, MAX_FRAME_SIZE, \
-    encode_frame
+    encode_frame, encode_frames
 from .logdump import encode_log, encode_log_entry, log_digest
 from .node_runtime import NodeRuntime, StepClock, TimerWheel, WallClock
 from .simadapter import SimTransport, sim_transport_factory
+from .soak import run_soak
 from .tcp import TcpTransport
 from .transport import LoopbackHub, LoopbackTransport, Transport, \
     TransportError
@@ -36,9 +40,11 @@ __all__ = [
     "CodecError", "WIRE_VERSION", "decode_message", "encode_message",
     "DeliveryService", "PendingDelivery", "RetryPolicy",
     "FrameDecoder", "FramingError", "MAX_FRAME_SIZE", "encode_frame",
+    "encode_frames",
     "encode_log", "encode_log_entry", "log_digest",
     "NodeRuntime", "StepClock", "TimerWheel", "WallClock",
     "SimTransport", "sim_transport_factory",
+    "run_soak",
     "TcpTransport",
     "LoopbackHub", "LoopbackTransport", "Transport", "TransportError",
 ]

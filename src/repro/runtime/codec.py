@@ -19,11 +19,23 @@ Timestamps are encoded at millisecond resolution — the same grid
 decoded message still validates even though sub-millisecond detail is
 gone.  Negative timestamps are rejected on encode, mirroring the wire
 module.
+
+The decode path is the runtime's hot loop (framing hands it one buffer
+per message at wire rate), so it is built for throughput: the
+:class:`_Reader` walks a single ``memoryview`` with pre-compiled
+:class:`struct.Struct` instances — no intermediate slicing, explicit
+bounds checks (``struct.error`` never escapes), and only terminal
+fields (digests, signature blobs, payloads) materialize ``bytes``.
+Message objects are built via ``__new__`` plus direct slot-descriptor
+writes; the layout assertions next to the setters make a field rename
+or reorder fail at import time rather than decode time.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Tuple
+import dataclasses
+import struct
+from typing import Any, Callable, Dict, List, NoReturn, Tuple, Union
 
 from ..bgp.prefix import Prefix, PrefixError
 from ..bgp.route import Route
@@ -45,6 +57,21 @@ TAG_BITPROOF = 0x05
 
 _FLAG_REANNOUNCE = 0x01
 _FLAG_UNDERLYING = 0x02
+
+#: Pre-compiled field groups.  Each struct covers a maximal run of
+#: fixed-width fields so one ``unpack_from`` replaces several
+#: ``int.from_bytes`` calls and their intermediate slices.
+_S_HEAD = struct.Struct(">BB")       # version | tag
+_S_H = struct.Struct(">H")           # u16
+_S_I = struct.Struct(">I")           # u32
+_S_Q = struct.Struct(">Q")           # u64 (milliseconds)
+_S_IH = struct.Struct(">IH")         # u32 + u16 length prefix
+_S_HI = struct.Struct(">HI")         # batch count | batch index
+_S_IQ = struct.Struct(">IQ")         # elector | commit_time
+_S_IIQ = struct.Struct(">IIQ")       # two ids | timestamp
+_S_BIIQ = struct.Struct(">BIIQ")     # flags | sender | receiver | ts
+_S_IB = struct.Struct(">IB")         # class_index | bit
+_S_HH = struct.Struct(">HH")         # n_children | child_index
 
 
 class CodecError(ValueError):
@@ -92,44 +119,168 @@ class _Writer:
 
 
 class _Reader:
-    __slots__ = ("_data", "_pos")
+    """Zero-copy cursor over one message buffer.
 
-    def __init__(self, data: bytes):
-        self._data = data
+    ``bytes`` input is kept as-is — slicing a ``bytes`` object is the
+    cheapest way to materialize the terminal fields that must outlive
+    the buffer.  Anything else (``memoryview``, ``bytearray``) is
+    wrapped in a single ``memoryview`` once, integer fields are
+    unpacked in place, and only :meth:`raw`/:meth:`blob16` ever copy.
+    Every read is bounds-checked up front so a truncated buffer fails
+    as :class:`CodecError`, never as ``struct.error`` or ``IndexError``.
+    """
+
+    __slots__ = ("_buf", "_pos", "_len")
+
+    def __init__(self, data: Union[bytes, bytearray, memoryview]):
+        if isinstance(data, bytes):
+            self._buf: Union[bytes, memoryview] = data
+        else:
+            self._buf = memoryview(data)
         self._pos = 0
+        self._len = len(data)
 
-    def _take(self, n: int) -> bytes:
-        end = self._pos + n
-        if end > len(self._data):
-            raise CodecError(
-                f"truncated: wanted {n} bytes at offset {self._pos}, "
-                f"only {len(self._data) - self._pos} remain")
-        chunk = self._data[self._pos:end]
+    def _short(self, wanted: int) -> NoReturn:
+        raise CodecError(
+            f"truncated: wanted {wanted} bytes at offset {self._pos}, "
+            f"only {self._len - self._pos} remain")
+
+    def unpack(self, fmt: struct.Struct) -> Tuple[int, ...]:
+        """Read one pre-compiled fixed-width field group."""
+        pos = self._pos
+        end = pos + fmt.size
+        if end > self._len:
+            self._short(fmt.size)
         self._pos = end
-        return chunk
+        return fmt.unpack_from(self._buf, pos)
 
     def u8(self) -> int:
-        return self._take(1)[0]
+        pos = self._pos
+        if pos >= self._len:
+            self._short(1)
+        self._pos = pos + 1
+        value: int = self._buf[pos]
+        return value
 
     def u16(self) -> int:
-        return int.from_bytes(self._take(2), "big")
+        pos = self._pos
+        end = pos + 2
+        if end > self._len:
+            self._short(2)
+        self._pos = end
+        value: int = _S_H.unpack_from(self._buf, pos)[0]
+        return value
 
     def u32(self) -> int:
-        return int.from_bytes(self._take(4), "big")
+        pos = self._pos
+        end = pos + 4
+        if end > self._len:
+            self._short(4)
+        self._pos = end
+        value: int = _S_I.unpack_from(self._buf, pos)[0]
+        return value
 
     def time_ms(self) -> float:
-        return int.from_bytes(self._take(8), "big") / 1000.0
+        pos = self._pos
+        end = pos + 8
+        if end > self._len:
+            self._short(8)
+        self._pos = end
+        ms: int = _S_Q.unpack_from(self._buf, pos)[0]
+        return ms / 1000.0
 
     def blob16(self) -> bytes:
-        return bytes(self._take(self.u16()))
+        """Length-prefixed terminal field, one fused bounds-checked read."""
+        pos = self._pos
+        end = pos + 2
+        if end > self._len:
+            self._short(2)
+        n: int = _S_H.unpack_from(self._buf, pos)[0]
+        pos = end
+        end = pos + n
+        if end > self._len:
+            self._pos = pos
+            self._short(n)
+        self._pos = end
+        buf = self._buf
+        if isinstance(buf, bytes):
+            return buf[pos:end]
+        return bytes(buf[pos:end])
 
     def raw(self, n: int) -> bytes:
-        return bytes(self._take(n))
+        """A terminal field: the one place bytes are materialized."""
+        pos = self._pos
+        end = pos + n
+        if end > self._len:
+            self._short(n)
+        self._pos = end
+        buf = self._buf
+        if isinstance(buf, bytes):
+            return buf[pos:end]
+        return bytes(buf[pos:end])
+
+    def window(self, n: int) -> Union[bytes, memoryview]:
+        """A sub-buffer for a nested decoder — zero-copy on views."""
+        pos = self._pos
+        end = pos + n
+        if end > self._len:
+            self._short(n)
+        self._pos = end
+        return self._buf[pos:end]
 
     def expect_end(self) -> None:
-        if self._pos != len(self._data):
+        if self._pos != self._len:
             raise CodecError(
-                f"{len(self._data) - self._pos} trailing bytes")
+                f"{self._len - self._pos} trailing bytes")
+
+
+# ----------------------------------------------------------------------
+# Raw constructors for the decode path
+#
+# Decode builds each message with ``cls.__new__`` plus the bound slot
+# descriptors below — the generated frozen-dataclass ``__init__`` costs
+# one ``object.__setattr__`` dispatch per field, which at 100k+ msgs/s
+# is most of the decode budget.  None of these classes has a
+# ``__post_init__`` (asserted here), so no invariant is skipped; the
+# layout check makes any field rename/reorder an import-time failure.
+
+def _slot_setters(cls: Any, *names: str) -> Tuple[Any, ...]:
+    actual = tuple(f.name for f in dataclasses.fields(cls))
+    if actual != names:
+        raise AssertionError(
+            f"{cls.__name__} field layout changed: {actual} — update "
+            "the codec's raw constructors to match")
+    if hasattr(cls, "__post_init__"):
+        raise AssertionError(
+            f"{cls.__name__} grew a __post_init__ that the codec's raw "
+            "constructors would skip")
+    return tuple(cls.__dict__[name].__set__ for name in names)
+
+
+(_sg_signer, _sg_payload, _sg_signature, _sg_digests, _sg_index) = \
+    _slot_setters(Signed, "signer", "payload", "signature",
+                  "batch_digests", "batch_index")
+(_an_sender, _an_receiver, _an_timestamp, _an_route, _an_underlying,
+ _an_route_sig, _an_envelope, _an_reannounce) = _slot_setters(
+    SpiderAnnounce, "sender", "receiver", "timestamp", "route",
+    "underlying", "route_sig", "envelope", "reannounce")
+(_wd_sender, _wd_receiver, _wd_timestamp, _wd_prefix, _wd_envelope) = \
+    _slot_setters(SpiderWithdraw, "sender", "receiver", "timestamp",
+                  "prefix", "envelope")
+(_ak_acker, _ak_sender, _ak_timestamp, _ak_hash, _ak_envelope) = \
+    _slot_setters(SpiderAck, "acker", "sender", "timestamp",
+                  "message_hash", "envelope")
+(_cm_elector, _cm_time, _cm_root, _cm_envelope) = \
+    _slot_setters(SpiderCommitment, "elector", "commit_time", "root",
+                  "envelope")
+(_bp_elector, _bp_recipient, _bp_time, _bp_proof, _bp_envelope) = \
+    _slot_setters(SpiderBitProof, "elector", "recipient", "commit_time",
+                  "proof", "envelope")
+(_mp_prefix, _mp_class, _mp_bit, _mp_blinding, _mp_steps) = \
+    _slot_setters(MttBitProof, "prefix", "class_index", "bit",
+                  "blinding", "steps")
+(_ps_labels, _ps_index) = _slot_setters(PathStep, "child_labels",
+                                        "child_index")
 
 
 # ----------------------------------------------------------------------
@@ -148,19 +299,32 @@ def _write_signed(w: _Writer, signed: Signed) -> None:
 
 
 def _read_signed(r: _Reader) -> Signed:
-    signer = r.u32()
-    payload = r.blob16()
+    signer, n_payload = r.unpack(_S_IH)
+    payload = r.raw(n_payload)
     signature = r.blob16()
-    n_batch = r.u16()
-    digests = tuple(r.raw(DIGEST_SIZE) for _ in range(n_batch))
-    batch_index = r.u32()
-    if digests:
-        if batch_index >= len(digests):
+    # Speculatively read batch count and batch index together: with no
+    # batch digests (the common case) the index directly follows the
+    # count, so one unpack covers both; otherwise the second field was
+    # really the first digest's opening bytes — rewind it.
+    n_batch, batch_index = r.unpack(_S_HI)
+    digests: Tuple[bytes, ...]
+    if n_batch:
+        r._pos -= 4
+        digests = tuple(r.raw(DIGEST_SIZE) for _ in range(n_batch))
+        batch_index = r.u32()
+        if batch_index >= n_batch:
             raise CodecError("batch index beyond digest list")
-    elif batch_index != 0:
-        raise CodecError("batch index without batch digests")
-    return Signed(signer=signer, payload=payload, signature=signature,
-                  batch_digests=digests, batch_index=batch_index)
+    else:
+        digests = ()
+        if batch_index:
+            raise CodecError("batch index without batch digests")
+    signed = Signed.__new__(Signed)
+    _sg_signer(signed, signer)
+    _sg_payload(signed, payload)
+    _sg_signature(signed, signature)
+    _sg_digests(signed, digests)
+    _sg_index(signed, batch_index)
+    return signed
 
 
 def _write_route(w: _Writer, route: Route) -> None:
@@ -175,10 +339,10 @@ def _write_route(w: _Writer, route: Route) -> None:
 
 
 def _read_route(r: _Reader) -> Route:
-    neighbor = r.u32()
+    neighbor, n = r.unpack(_S_IH)
     try:
-        return Route.from_bytes(r.blob16(), neighbor=neighbor)
-    except (ValueError, PrefixError) as exc:  # includes Origin/Prefix errors
+        return Route.from_bytes(r.window(n), neighbor=neighbor)
+    except (ValueError, PrefixError) as exc:  # includes Origin errors
         raise CodecError(f"malformed route: {exc}") from exc
 
 
@@ -212,22 +376,27 @@ def _write_bit_proof(w: _Writer, proof: MttBitProof) -> None:
 
 def _read_bit_proof(r: _Reader) -> MttBitProof:
     prefix = _read_prefix(r)
-    class_index = r.u32()
-    bit = r.u8()
+    class_index, bit = r.unpack(_S_IB)
     if bit not in (0, 1):
         raise CodecError(f"proof bit must be 0 or 1, got {bit}")
     blinding = r.raw(DIGEST_SIZE)
     steps: List[PathStep] = []
     for _ in range(r.u16()):
-        n_children = r.u16()
-        child_index = r.u16()
+        n_children, child_index = r.unpack(_S_HH)
         if child_index >= n_children:
             raise CodecError("child index beyond child labels")
         labels = tuple(r.raw(DIGEST_SIZE) for _ in range(n_children))
-        steps.append(PathStep(child_labels=labels,
-                              child_index=child_index))
-    return MttBitProof(prefix=prefix, class_index=class_index, bit=bit,
-                       blinding=blinding, steps=tuple(steps))
+        step = PathStep.__new__(PathStep)
+        _ps_labels(step, labels)
+        _ps_index(step, child_index)
+        steps.append(step)
+    proof = MttBitProof.__new__(MttBitProof)
+    _mp_prefix(proof, prefix)
+    _mp_class(proof, class_index)
+    _mp_bit(proof, bit)
+    _mp_blinding(proof, blinding)
+    _mp_steps(proof, tuple(steps))
+    return proof
 
 
 # ----------------------------------------------------------------------
@@ -251,21 +420,23 @@ def _encode_announce(w: _Writer, msg: SpiderAnnounce) -> None:
 
 
 def _decode_announce(r: _Reader) -> SpiderAnnounce:
-    flags = r.u8()
+    flags, sender, receiver, ms = r.unpack(_S_BIIQ)
     if flags & ~(_FLAG_REANNOUNCE | _FLAG_UNDERLYING):
         raise CodecError(f"unknown announce flags {flags:#x}")
-    sender = r.u32()
-    receiver = r.u32()
-    timestamp = r.time_ms()
     route = _read_route(r)
     underlying = _read_signed(r) if flags & _FLAG_UNDERLYING else None
     route_sig = _read_signed(r)
     envelope = _read_signed(r)
-    return SpiderAnnounce(sender=sender, receiver=receiver,
-                          timestamp=timestamp, route=route,
-                          underlying=underlying, route_sig=route_sig,
-                          envelope=envelope,
-                          reannounce=bool(flags & _FLAG_REANNOUNCE))
+    msg = SpiderAnnounce.__new__(SpiderAnnounce)
+    _an_sender(msg, sender)
+    _an_receiver(msg, receiver)
+    _an_timestamp(msg, ms / 1000.0)
+    _an_route(msg, route)
+    _an_underlying(msg, underlying)
+    _an_route_sig(msg, route_sig)
+    _an_envelope(msg, envelope)
+    _an_reannounce(msg, bool(flags & _FLAG_REANNOUNCE))
+    return msg
 
 
 def _encode_withdraw(w: _Writer, msg: SpiderWithdraw) -> None:
@@ -277,9 +448,16 @@ def _encode_withdraw(w: _Writer, msg: SpiderWithdraw) -> None:
 
 
 def _decode_withdraw(r: _Reader) -> SpiderWithdraw:
-    return SpiderWithdraw(sender=r.u32(), receiver=r.u32(),
-                          timestamp=r.time_ms(), prefix=_read_prefix(r),
-                          envelope=_read_signed(r))
+    sender, receiver, ms = r.unpack(_S_IIQ)
+    prefix = _read_prefix(r)
+    envelope = _read_signed(r)
+    msg = SpiderWithdraw.__new__(SpiderWithdraw)
+    _wd_sender(msg, sender)
+    _wd_receiver(msg, receiver)
+    _wd_timestamp(msg, ms / 1000.0)
+    _wd_prefix(msg, prefix)
+    _wd_envelope(msg, envelope)
+    return msg
 
 
 def _encode_ack(w: _Writer, msg: SpiderAck) -> None:
@@ -291,9 +469,16 @@ def _encode_ack(w: _Writer, msg: SpiderAck) -> None:
 
 
 def _decode_ack(r: _Reader) -> SpiderAck:
-    return SpiderAck(acker=r.u32(), sender=r.u32(),
-                     timestamp=r.time_ms(), message_hash=r.blob16(),
-                     envelope=_read_signed(r))
+    acker, sender, ms = r.unpack(_S_IIQ)
+    message_hash = r.blob16()
+    envelope = _read_signed(r)
+    msg = SpiderAck.__new__(SpiderAck)
+    _ak_acker(msg, acker)
+    _ak_sender(msg, sender)
+    _ak_timestamp(msg, ms / 1000.0)
+    _ak_hash(msg, message_hash)
+    _ak_envelope(msg, envelope)
+    return msg
 
 
 def _encode_commitment(w: _Writer, msg: SpiderCommitment) -> None:
@@ -304,8 +489,15 @@ def _encode_commitment(w: _Writer, msg: SpiderCommitment) -> None:
 
 
 def _decode_commitment(r: _Reader) -> SpiderCommitment:
-    return SpiderCommitment(elector=r.u32(), commit_time=r.time_ms(),
-                            root=r.blob16(), envelope=_read_signed(r))
+    elector, ms = r.unpack(_S_IQ)
+    root = r.blob16()
+    envelope = _read_signed(r)
+    msg = SpiderCommitment.__new__(SpiderCommitment)
+    _cm_elector(msg, elector)
+    _cm_time(msg, ms / 1000.0)
+    _cm_root(msg, root)
+    _cm_envelope(msg, envelope)
+    return msg
 
 
 def _encode_bit_proof_msg(w: _Writer, msg: SpiderBitProof) -> None:
@@ -317,10 +509,16 @@ def _encode_bit_proof_msg(w: _Writer, msg: SpiderBitProof) -> None:
 
 
 def _decode_bit_proof_msg(r: _Reader) -> SpiderBitProof:
-    return SpiderBitProof(elector=r.u32(), recipient=r.u32(),
-                          commit_time=r.time_ms(),
-                          proof=_read_bit_proof(r),
-                          envelope=_read_signed(r))
+    elector, recipient, ms = r.unpack(_S_IIQ)
+    proof = _read_bit_proof(r)
+    envelope = _read_signed(r)
+    msg = SpiderBitProof.__new__(SpiderBitProof)
+    _bp_elector(msg, elector)
+    _bp_recipient(msg, recipient)
+    _bp_time(msg, ms / 1000.0)
+    _bp_proof(msg, proof)
+    _bp_envelope(msg, envelope)
+    return msg
 
 
 _ENCODERS: Tuple[Tuple[type, int,
@@ -354,13 +552,21 @@ def encode_message(message: object) -> bytes:
         f"not a SPIDeR wire message: {type(message).__name__}")
 
 
-def decode_message(data: bytes) -> object:
-    """Strict inverse of :func:`encode_message`."""
+def decode_message(
+        data: Union[bytes, bytearray, memoryview]) -> object:
+    """Strict inverse of :func:`encode_message`.
+
+    Accepts ``bytes`` or any byte buffer (``memoryview``,
+    ``bytearray``): the framing layer hands this function zero-copy
+    views into its receive buffer, and nothing on the decode path
+    forces a copy of the whole message.
+    """
+    if len(data) < 2:
+        raise CodecError("message shorter than version + tag header")
     r = _Reader(data)
-    version = r.u8()
+    version, tag = r.unpack(_S_HEAD)
     if version != WIRE_VERSION:
         raise CodecError(f"unsupported wire version {version}")
-    tag = r.u8()
     decoder = _DECODERS.get(tag)
     if decoder is None:
         raise CodecError(f"unknown message tag {tag:#x}")

@@ -9,17 +9,36 @@ stream parser (cf. asyncio protocols).
 Frames are bounded by :data:`MAX_FRAME_SIZE`; an oversized length prefix
 means the stream is corrupt or hostile, and the decoder refuses to
 allocate for it.
+
+This module is on the wire hot path, so both directions avoid copies:
+
+* :func:`encode_frames` gathers a whole batch of payloads into one
+  buffer with a single ``b"".join`` — a writev-style path that turns
+  N messages into one socket write instead of N.
+* :meth:`FrameDecoder.feed` yields **zero-copy** ``memoryview`` windows
+  into the fed chunk for every frame that lies wholly inside it; only
+  the one frame that straddles a chunk boundary is ever copied into the
+  decoder's residual buffer (and is returned as ``bytes`` once its
+  remainder arrives).  Consumed residual bytes are trimmed lazily —
+  see :meth:`FrameDecoder.compact`.
 """
 
 from __future__ import annotations
 
-from typing import List
+import struct
+from typing import List, Union
 
 #: Refuse frames above 1 MiB: the largest legitimate SPIDeR message (a
 #: signed bit proof with a full 33-step path) is a few KiB.
 MAX_FRAME_SIZE = 1 << 20
 
 LENGTH_BYTES = 4
+
+#: Consumed residual bytes are trimmed once they exceed this; below it
+#: the memmove is deferred (see :meth:`FrameDecoder.compact`).
+COMPACT_THRESHOLD = 1 << 16
+
+_S_LEN = struct.Struct(">I")
 
 
 class FramingError(ValueError):
@@ -31,7 +50,29 @@ def encode_frame(payload: bytes) -> bytes:
     if len(payload) > MAX_FRAME_SIZE:
         raise FramingError(
             f"frame of {len(payload)} bytes exceeds {MAX_FRAME_SIZE}")
-    return len(payload).to_bytes(LENGTH_BYTES, "big") + payload
+    return _S_LEN.pack(len(payload)) + payload
+
+
+def encode_frames(payloads: List[bytes]) -> bytes:
+    """Wrap a batch of messages as one contiguous buffer.
+
+    The writev-style gather path: every payload is validated, then the
+    length prefixes and payloads are joined in a single pass, so a
+    sender can push N messages through one socket write.  Equivalent to
+    ``b"".join(encode_frame(p) for p in payloads)`` but without the
+    N intermediate concatenations.
+    """
+    parts: List[bytes] = []
+    append = parts.append
+    pack = _S_LEN.pack
+    for payload in payloads:
+        if len(payload) > MAX_FRAME_SIZE:
+            raise FramingError(
+                f"frame of {len(payload)} bytes exceeds "
+                f"{MAX_FRAME_SIZE}")
+        append(pack(len(payload)))
+        append(payload)
+    return b"".join(parts)
 
 
 class FrameDecoder:
@@ -45,44 +86,123 @@ class FrameDecoder:
     oversized length prefix stayed buffered and every subsequent feed
     re-raised the original error as if the new chunk were at fault.)
     The owner must drop the connection and build a fresh decoder.
+
+    Frames wholly inside a fed chunk come back as ``memoryview``
+    windows into that chunk — no copy, but the views pin the chunk in
+    memory, so a caller that retains frames past the next feed should
+    take ``bytes(frame)`` of the ones it keeps.  The residual buffer
+    holds at most one partial frame plus a bounded consumed prefix
+    (:data:`COMPACT_THRESHOLD`), so decoder memory stays bounded by
+    the frame limit regardless of how the stream is chunked.
     """
 
-    def __init__(self, max_frame: int = MAX_FRAME_SIZE):
+    def __init__(self, max_frame: int = MAX_FRAME_SIZE,
+                 compact_threshold: int = COMPACT_THRESHOLD):
         self.max_frame = max_frame
+        self.compact_threshold = compact_threshold
         self._buffer = bytearray()
+        #: How much of ``_buffer`` is already consumed (lazy trim).
+        self._offset = 0
         self._poison: str = ""
 
     @property
     def buffered(self) -> int:
-        return len(self._buffer)
+        """Unconsumed bytes held for the frame still in flight."""
+        return len(self._buffer) - self._offset
 
     @property
     def poisoned(self) -> bool:
         """True once a framing violation has killed this decoder."""
         return bool(self._poison)
 
+    def compact(self) -> None:
+        """Trim the consumed prefix of the residual buffer now.
+
+        :meth:`feed` advances ``_offset`` past consumed bytes instead
+        of deleting them (deleting is a memmove of everything behind
+        the cut) and only compacts once the dead prefix crosses
+        ``compact_threshold`` — repeated small trims on a dribbling
+        stream would be quadratic.  This forces the trim immediately.
+        """
+        if self._offset:
+            del self._buffer[:self._offset]
+            self._offset = 0
+
     def _poison_with(self, reason: str) -> "FramingError":
         self._poison = reason
         return FramingError(reason)
 
-    def feed(self, data: bytes) -> List[bytes]:
+    def feed(self, data: Union[bytes, bytearray, memoryview]) \
+            -> List[Union[bytes, memoryview]]:
         """Absorb a chunk; return every frame it completed, in order."""
         if self._poison:
             raise FramingError(
                 f"decoder poisoned by earlier framing error "
                 f"({self._poison}); open a new stream")
-        self._buffer += data
-        frames: List[bytes] = []
-        while True:
-            if len(self._buffer) < LENGTH_BYTES:
-                break
-            length = int.from_bytes(self._buffer[:LENGTH_BYTES], "big")
-            if length > self.max_frame:
+        # Mutable input is snapshotted once: the views handed back must
+        # never alias a buffer the caller can rewrite under them.
+        chunk = data if isinstance(data, bytes) else bytes(data)
+        frames: List[Union[bytes, memoryview]] = []
+        pos = 0
+        if self._buffer:
+            if self._offset == len(self._buffer):
+                # Everything in the residual was consumed by earlier
+                # feeds; dropping the whole buffer is free.
+                del self._buffer[:]
+                self._offset = 0
+            else:
+                consumed = self._finish_straddling(chunk, frames)
+                if consumed < 0:
+                    return frames
+                pos = consumed
+        # Zero-copy pass over the rest of the chunk.
+        n = len(chunk)
+        view = None
+        max_frame = self.max_frame
+        while n - pos >= LENGTH_BYTES:
+            length: int = _S_LEN.unpack_from(chunk, pos)[0]
+            if length > max_frame:
                 raise self._poison_with(
-                    f"frame length {length} exceeds {self.max_frame}")
-            if len(self._buffer) < LENGTH_BYTES + length:
+                    f"frame length {length} exceeds {max_frame}")
+            end = pos + LENGTH_BYTES + length
+            if end > n:
                 break
-            frames.append(bytes(
-                self._buffer[LENGTH_BYTES:LENGTH_BYTES + length]))
-            del self._buffer[:LENGTH_BYTES + length]
+            if view is None:
+                view = memoryview(chunk)
+            frames.append(view[pos + LENGTH_BYTES:end])
+            pos = end
+        if pos < n:
+            self._buffer += chunk[pos:]
         return frames
+
+    def _finish_straddling(self, chunk: bytes,
+                           frames: List[Union[bytes, memoryview]]) -> int:
+        """Complete the frame split across feeds; return chunk bytes
+        consumed, or -1 if the frame is still incomplete."""
+        buf = self._buffer
+        pos = 0
+        have = len(buf) - self._offset
+        if have < LENGTH_BYTES:
+            need = LENGTH_BYTES - have
+            buf += chunk[:need]
+            if len(buf) - self._offset < LENGTH_BYTES:
+                return -1
+            pos = need
+            have = LENGTH_BYTES
+        length: int = _S_LEN.unpack_from(buf, self._offset)[0]
+        if length > self.max_frame:
+            raise self._poison_with(
+                f"frame length {length} exceeds {self.max_frame}")
+        need = LENGTH_BYTES + length - have
+        if need > 0:
+            take = chunk[pos:pos + need]
+            buf += take
+            pos += len(take)
+            if len(take) < need:
+                return -1
+        start = self._offset + LENGTH_BYTES
+        frames.append(bytes(buf[start:start + length]))
+        self._offset = start + length
+        if self._offset >= self.compact_threshold:
+            self.compact()
+        return pos

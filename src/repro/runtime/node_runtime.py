@@ -28,7 +28,7 @@ from ..bgp.route import Route
 from ..core.classes import ClassScheme
 from ..core.promise import Promise, total_order_promise
 from ..crypto.keys import Identity, KeyRegistry
-from ..obs.registry import ClockLike
+from ..obs.registry import ClockLike, get_registry
 from ..spider.config import SpiderConfig
 from ..spider.node import SpiderNode
 from ..spider.recorder import CommitmentRecord, Recorder
@@ -149,7 +149,19 @@ class NodeRuntime:
             self.node.recorder, schedule=self.timers.schedule,
             policy=retry_policy, seed=retry_seed)
         self.inbox: Deque[object] = deque()
-        transport.on_receive(self.inbox.append)
+        #: Inbound backlog depth: how far message arrival has outrun
+        #: :meth:`deliver_pending` — the runtime-side backpressure
+        #: signal the soak scenario watches per peer.
+        self._inbox_gauge = get_registry().gauge(
+            "runtime_inbox_depth", node=f"as{identity.asn}")
+        inbox_append = self.inbox.append
+        inbox_gauge = self._inbox_gauge
+
+        def _enqueue(message: object) -> None:
+            inbox_append(message)
+            inbox_gauge.set(len(self.inbox))
+
+        transport.on_receive(_enqueue)
 
     @property
     def asn(self) -> int:
@@ -192,6 +204,8 @@ class NodeRuntime:
         while self.inbox and (limit is None or processed < limit):
             self.node.receive_spider(self.inbox.popleft())
             processed += 1
+        if processed:
+            self._inbox_gauge.set(len(self.inbox))
         return processed
 
     def wait_for_inbox(self, count: int, timeout: float = 30.0) -> None:

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import asyncio
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import Gauge
 from ..obs.registry import get_registry
 from .codec import CodecError, decode_message, encode_message
 from .framing import FrameDecoder, FramingError, encode_frame
@@ -62,6 +63,10 @@ class TcpTransport(Transport):
         #: the bounded backpressure came to blocking the producer.
         self._queue_depth_gauge = get_registry().gauge(
             "tcp_queue_depth", node=f"as{asn}")
+        #: Same depth, broken out per peer (lazily created on first
+        #: send to each neighbor) — the soak scenario's backpressure
+        #: signal.
+        self._peer_depth_gauges: Dict[int, Gauge] = {}
         self._decode_errors_counter = get_registry().counter(
             "tcp_decode_errors_total", node=f"as{asn}")
 
@@ -138,20 +143,59 @@ class TcpTransport(Transport):
             raise TransportError(f"no address for peer AS {receiver}")
         frame = encode_frame(encode_message(message))
         future = asyncio.run_coroutine_threadsafe(
-            self._enqueue(receiver, frame), self._loop)
+            self._enqueue(receiver, [frame]), self._loop)
         # Bounded backpressure: blocks here while the peer queue is full.
         future.result(timeout=self.connect_timeout + 60.0)
         self._note_sent(len(frame))
 
-    async def _enqueue(self, receiver: int, frame: bytes) -> None:
+    def send_many(self, receiver: int,
+                  messages: Sequence[object]) -> None:
+        """Batch egress: one cross-thread hop for the whole batch.
+
+        The per-message :meth:`send` pays one
+        ``run_coroutine_threadsafe`` round trip (~the entire per-message
+        TCP budget) per frame; here the batch crosses into the loop
+        thread once and the writer coalesces the frames into as few
+        socket writes as the peer's flow control allows.  Backpressure
+        is unchanged — the bounded per-peer queue still blocks this
+        caller until every frame of the batch is accepted.
+        """
+        if self._loop is None:
+            raise TransportError("transport not started")
+        if receiver not in self.peers:
+            raise TransportError(f"no address for peer AS {receiver}")
+        if not messages:
+            return
+        frames = [encode_frame(encode_message(m)) for m in messages]
+        future = asyncio.run_coroutine_threadsafe(
+            self._enqueue(receiver, frames), self._loop)
+        future.result(timeout=self.connect_timeout + 60.0)
+        for frame in frames:
+            self._note_sent(len(frame))
+
+    def _peer_gauge(self, receiver: int) -> Gauge:
+        gauge = self._peer_depth_gauges.get(receiver)
+        if gauge is None:
+            gauge = get_registry().gauge(
+                "tcp_queue_depth", node=f"as{self.asn}",
+                peer=f"as{receiver}")
+            self._peer_depth_gauges[receiver] = gauge
+        return gauge
+
+    async def _enqueue(self, receiver: int,
+                       frames: List[bytes]) -> None:
         queue = self._queues.get(receiver)
         if queue is None:
             queue = asyncio.Queue(maxsize=self.max_queue)
             self._queues[receiver] = queue
             self._writer_tasks[receiver] = \
                 asyncio.ensure_future(self._writer(receiver, queue))
-        await queue.put(frame)
-        self._queue_depth_gauge.set(queue.qsize())
+        peer_gauge = self._peer_gauge(receiver)
+        for frame in frames:
+            await queue.put(frame)
+            depth = queue.qsize()
+            self._queue_depth_gauge.set(depth)
+            peer_gauge.set(depth)
 
     async def _writer(self, receiver: int, queue: asyncio.Queue) -> None:
         host, port = self.peers[receiver]
@@ -160,7 +204,17 @@ class TcpTransport(Transport):
             writer = await self._connect(host, port)
             while True:
                 frame = await queue.get()
-                writer.write(frame)
+                # Coalesce whatever else is already queued into this
+                # write: one syscall and one drain per burst instead of
+                # per frame.
+                backlog: List[bytes] = [frame]
+                while True:
+                    try:
+                        backlog.append(queue.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                writer.write(b"".join(backlog) if len(backlog) > 1
+                             else frame)
                 await writer.drain()
         except asyncio.CancelledError:
             pass

@@ -19,11 +19,12 @@ import heapq
 import itertools
 import random
 import threading
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs.registry import get_registry
 from .codec import decode_message, encode_message
-from .framing import FrameDecoder, encode_frame
+from .framing import FrameDecoder, LENGTH_BYTES, encode_frame, \
+    encode_frames
 
 #: A delivery callback: receives the decoded message object.
 ReceiveCallback = Callable[[object], None]
@@ -93,6 +94,18 @@ class Transport:
         # Recorder compatibility: a Transport is a valid transport
         # callable.
         self.send(receiver, message)
+
+    def send_many(self, receiver: int,
+                  messages: Sequence[object]) -> None:
+        """Send a batch to one receiver.
+
+        The base implementation is a plain loop; implementations that
+        can coalesce (one socket write, one hub submission) override
+        it.  Callers may rely on batch members being delivered in
+        order, exactly as if sent one by one.
+        """
+        for message in messages:
+            self.send(receiver, message)
 
     # -- receiving -----------------------------------------------------
     def on_receive(self, callback: ReceiveCallback) -> None:
@@ -167,12 +180,47 @@ class LoopbackHub:
         heapq.heappush(self._queue,
                        (latency, next(self._seq), receiver, frame))
 
+    def _submit_batch(self, sender: int, receiver: int,
+                      messages: Sequence[object],
+                      payloads: Sequence[bytes]) -> None:
+        """One queue entry for a whole batch: the frames are gathered
+        into a single contiguous buffer (the loopback equivalent of one
+        socket write) and delivered together.  The drop filter still
+        sees every message individually."""
+        if receiver not in self._endpoints:
+            raise TransportError(f"no endpoint for AS {receiver}")
+        kept: List[bytes]
+        if self.drop_filter is not None:
+            kept = []
+            for message, payload in zip(messages, payloads):
+                if self.drop_filter(sender, receiver, message):
+                    self.frames_dropped += 1
+                else:
+                    kept.append(payload)
+        else:
+            kept = list(payloads)
+        if not kept:
+            return
+        latency = 0.0
+        if self.max_latency > 0:
+            latency = self._rng.uniform(self.min_latency,
+                                        self.max_latency)
+        heapq.heappush(
+            self._queue,
+            (latency, next(self._seq), receiver, encode_frames(kept)))
+
     @property
     def in_flight(self) -> int:
         return len(self._queue)
 
     def deliver_next(self) -> bool:
-        """Deliver the next frame; False when nothing is in flight."""
+        """Deliver the next entry; False when nothing is in flight.
+
+        An entry holds one frame for :meth:`LoopbackTransport.send` or
+        a whole coalesced batch for :meth:`LoopbackTransport.send_many`;
+        either way each contained message is accounted and dispatched
+        individually.
+        """
         if not self._queue:
             return False
         _latency, _seq, receiver, frame = heapq.heappop(self._queue)
@@ -181,7 +229,7 @@ class LoopbackHub:
             return True  # destination not attached: dropped on the floor
         payload = endpoint._decoder.feed(frame)
         for encoded in payload:
-            endpoint._note_received(len(frame))
+            endpoint._note_received(len(encoded) + LENGTH_BYTES)
             endpoint._dispatch(decode_message(encoded))
         return True
 
@@ -204,3 +252,12 @@ class LoopbackTransport(Transport):
         frame = encode_frame(encode_message(message))
         self._note_sent(len(frame))
         self.hub._submit(self.asn, receiver, message, frame)
+
+    def send_many(self, receiver: int,
+                  messages: Sequence[object]) -> None:
+        if not messages:
+            return
+        payloads = [encode_message(m) for m in messages]
+        for payload in payloads:
+            self._note_sent(len(payload) + LENGTH_BYTES)
+        self.hub._submit_batch(self.asn, receiver, messages, payloads)

@@ -30,6 +30,9 @@ GOLDEN_NAMES = sorted([
     "transport_frames_sent_total", "transport_bytes_sent_total",
     "transport_frames_received_total", "transport_bytes_received_total",
     "tcp_queue_depth", "tcp_decode_errors_total",
+    "runtime_inbox_depth",
+    "soak_sessions", "soak_messages_sent_total",
+    "soak_acks_received_total",
     "commitment",
 ])
 

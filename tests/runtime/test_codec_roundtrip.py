@@ -221,3 +221,48 @@ def test_negative_timestamp_rejected_on_encode():
     bad = dataclasses.replace(_sample_ack(), timestamp=-1.0)
     with pytest.raises(CodecError):
         encode_message(bad)
+
+
+# ----------------------------------------------------------------------
+# Buffer-type polymorphism (the zero-copy decode path)
+
+@settings(max_examples=60, deadline=None)
+@given(messages)
+def test_roundtrip_across_buffer_types(message):
+    """``decode(encode(m)) == m`` whether the frame arrives as bytes,
+    bytearray, or a memoryview — including a non-zero-offset view, the
+    shape a batched frame decoder actually hands over."""
+    encoded = encode_message(message)
+    assert decode_message(encoded) == message
+    assert decode_message(bytearray(encoded)) == message
+    assert decode_message(memoryview(encoded)) == message
+    padded = b"\xff" * 3 + encoded
+    assert decode_message(memoryview(padded)[3:]) == message
+
+
+@settings(max_examples=120, deadline=None)
+@given(messages, st.data())
+def test_memoryview_corruption_raises_only_codec_error(message, data):
+    """Truncate, bit-flip, or extend the frame and decode it through
+    the memoryview path: the outcome is CodecError or a *different*
+    message — never a mis-parse back to the original, never a foreign
+    exception (IndexError, struct.error, ...) escaping the reader."""
+    encoded = bytearray(encode_message(message))
+    op = data.draw(st.sampled_from(["truncate", "flip", "extend"]))
+    if op == "truncate":
+        cut = data.draw(st.integers(0, len(encoded) - 1))
+        with pytest.raises(CodecError):
+            decode_message(memoryview(bytes(encoded[:cut])))
+        return
+    if op == "extend":
+        encoded += data.draw(st.binary(min_size=1, max_size=8))
+        with pytest.raises(CodecError):
+            decode_message(memoryview(bytes(encoded)))
+        return
+    pos = data.draw(st.integers(0, len(encoded) - 1))
+    encoded[pos] ^= data.draw(st.integers(1, 255))
+    try:
+        decoded = decode_message(memoryview(bytes(encoded)))
+    except CodecError:
+        return
+    assert decoded != message

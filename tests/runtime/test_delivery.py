@@ -271,3 +271,84 @@ class TestRetryPolicy:
         assert len(rt_a.delivery.evidence) == 1
         evidence = rt_a.delivery.evidence[0]
         assert evidence.gave_up_at - evidence.first_sent >= 10.0
+
+
+class TestBatchedRetryFlush:
+    """With a batching transport, retries that fire in one timer pump
+    leave as one ``send_many`` per receiver — and the §6.2 bookkeeping
+    (attempt counts, T_max, evidence) is identical to the single-send
+    path."""
+
+    def test_retries_coalesce_into_one_send_many(self):
+        hub = LoopbackHub(drop_filter=drop_acks)
+        transport_a = hub.attach(ASN_A)
+        rt_a = exchange_runtime(ASN_A, transport_a,
+                                retry_policy=FAST_RETRY)
+        rt_b = exchange_runtime(ASN_B, hub.attach(ASN_B),
+                                retry_policy=FAST_RETRY)
+        calls = []
+        original = transport_a.send_many
+        transport_a.send_many = lambda receiver, messages: (
+            calls.append((receiver, list(messages))),
+            original(receiver, messages))[-1]
+
+        rt_a.advance_to(1.0)
+        rt_a.announce(ASN_B, ROUTE)
+        rt_a.withdraw(ASN_B, ROUTE.prefix)
+        hub.deliver_all()
+        rt_b.advance_to(1.0)
+        rt_b.deliver_pending()
+
+        # Both first retries are due by t=2 (0.5s initial ±10%); one
+        # pump fires both and the zero-delay flush in the same call.
+        rt_a.advance_to(2.0)
+        assert rt_a.delivery.retries_sent == 2
+        batched = [(r, ms) for r, ms in calls if len(ms) == 2]
+        assert len(batched) == 1
+        receiver, messages = batched[0]
+        assert receiver == ASN_B
+        hub.deliver_all()
+        rt_b.deliver_pending()
+        assert rt_b.recorder.alarms == []
+
+    def test_evidence_timing_identical_to_single_send_path(self):
+        """Run the dropped-ACK fault twice — batching transport versus
+        the bare-callable wrapper that forces single sends — and the
+        §6.2 outcomes must match exactly."""
+
+        def outcome(force_single):
+            hub = LoopbackHub(drop_filter=drop_acks)
+            transport_a = hub.attach(ASN_A)
+            rt_a = exchange_runtime(ASN_A, transport_a,
+                                    retry_policy=FAST_RETRY)
+            rt_b = exchange_runtime(ASN_B, hub.attach(ASN_B),
+                                    retry_policy=FAST_RETRY)
+            if force_single:
+                rt_a.recorder.transport = \
+                    lambda receiver, message: \
+                    transport_a.send(receiver, message)
+            rt_a.advance_to(1.0)
+            rt_a.announce(ASN_B, ROUTE)
+            hub.deliver_all()
+            rt_b.advance_to(1.0)
+            rt_b.deliver_pending()
+            t = 1.0
+            while not rt_a.delivery.evidence and t < 60.0:
+                t += 0.25
+                rt_a.advance_to(t)
+                rt_b.advance_to(t)
+                hub.deliver_all()
+                rt_b.deliver_pending()
+            from repro.spider.log import EntryKind
+            (evidence,) = rt_a.delivery.evidence
+            received = rt_b.recorder.log.of_kind(
+                EntryKind.RECV_ANNOUNCE)
+            return (rt_a.delivery.retries_sent, evidence.attempts,
+                    evidence.first_sent, evidence.gave_up_at,
+                    len(received))
+
+        batched = outcome(force_single=False)
+        single = outcome(force_single=True)
+        assert batched[:4] == single[:4]
+        # The receiver saw every retransmission in both runs.
+        assert batched[4] == single[4] == FAST_RETRY.max_attempts

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.runtime.framing import FrameDecoder, FramingError, \
-    LENGTH_BYTES, MAX_FRAME_SIZE, encode_frame
+    LENGTH_BYTES, MAX_FRAME_SIZE, encode_frame, encode_frames
 
 
 class TestEncodeFrame:
@@ -80,3 +80,122 @@ class TestFrameDecoder:
             pos += step
         assert out == payloads
         assert decoder.buffered == 0
+
+
+class TestEncodeFrames:
+    """The writev-style batch path must be byte-equivalent to N single
+    encodes — the receiver cannot tell how the sender batched."""
+
+    def test_equivalent_to_concatenated_singles(self):
+        payloads = [b"", b"a", b"bc" * 20, b"\x00" * 7]
+        assert encode_frames(payloads) == \
+            b"".join(encode_frame(p) for p in payloads)
+
+    def test_empty_batch_is_empty_bytes(self):
+        assert encode_frames([]) == b""
+
+    def test_oversized_member_rejected(self):
+        with pytest.raises(FramingError):
+            encode_frames([b"ok", b"x" * (MAX_FRAME_SIZE + 1)])
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.binary(max_size=64), min_size=1, max_size=8),
+           st.data())
+    def test_batched_stream_is_chunking_invariant(self, payloads, data):
+        """A batch-encoded stream reassembles to the same payloads
+        under any slicing, exactly like a singly-encoded one."""
+        stream = encode_frames(payloads)
+        decoder = FrameDecoder()
+        out = []
+        pos = 0
+        while pos < len(stream):
+            step = data.draw(st.integers(1, len(stream) - pos))
+            out += decoder.feed(stream[pos:pos + step])
+            pos += step
+        assert out == payloads
+        assert decoder.buffered == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.binary(max_size=32), max_size=6), st.data())
+    def test_corrupt_length_prefix_poisons_under_any_chunking(
+            self, payloads, data):
+        """Wherever the chunk boundaries fall, an oversized length
+        prefix raises once its four bytes are complete, the frames
+        decoded before it form a prefix of the batch, and the decoder
+        is dead for good."""
+        stream = encode_frames(payloads) + \
+            (MAX_FRAME_SIZE + 1).to_bytes(LENGTH_BYTES, "big") + \
+            b"junk after the corruption"
+        decoder = FrameDecoder()
+        out = []
+        pos = 0
+        raised = False
+        while pos < len(stream):
+            step = data.draw(st.integers(1, len(stream) - pos))
+            try:
+                out += decoder.feed(stream[pos:pos + step])
+            except FramingError:
+                raised = True
+                break
+            pos += step
+        assert raised
+        assert decoder.poisoned
+        assert out == payloads[:len(out)]
+        with pytest.raises(FramingError, match="poisoned"):
+            decoder.feed(b"")
+
+
+class TestZeroCopyFeed:
+    def test_intra_chunk_frames_are_views(self):
+        """Frames lying wholly inside one chunk come back as
+        memoryviews into it — the zero-copy contract."""
+        decoder = FrameDecoder()
+        frames = decoder.feed(encode_frames([b"one", b"two"]))
+        assert [bytes(f) for f in frames] == [b"one", b"two"]
+        assert all(isinstance(f, memoryview) for f in frames)
+
+    def test_views_compare_equal_to_bytes(self):
+        decoder = FrameDecoder()
+        (frame,) = decoder.feed(encode_frame(b"payload"))
+        assert frame == b"payload"
+
+    def test_straddling_frame_is_materialized_bytes(self):
+        """The one frame split across feeds is copied out — it must
+        not alias the decoder's residual buffer, which mutates."""
+        decoder = FrameDecoder()
+        encoded = encode_frame(b"split across feeds")
+        assert decoder.feed(encoded[:7]) == []
+        (frame,) = decoder.feed(encoded[7:])
+        assert frame == b"split across feeds"
+        assert isinstance(frame, bytes)
+
+    def test_compact_trims_consumed_residual(self):
+        decoder = FrameDecoder()
+        encoded = encode_frame(b"x" * 32)
+        decoder.feed(encoded[:10])
+        decoder.feed(encoded[10:])
+        # The straddler was emitted; its bytes linger, consumed, in
+        # the residual until trimmed.
+        assert decoder.buffered == 0
+        assert len(decoder._buffer) == len(encoded)
+        decoder.compact()
+        assert len(decoder._buffer) == 0
+        assert decoder.feed(encode_frame(b"next")) == [b"next"]
+
+    def test_compact_threshold_bounds_residual_memory(self):
+        """A stream chunked so every frame straddles must not grow the
+        residual without bound: once the consumed prefix crosses the
+        threshold, the decoder trims it on its own."""
+        frame = encode_frame(b"y" * 10)
+        decoder = FrameDecoder(compact_threshold=32)
+        out = []
+        # Half a frame, then full-frame-sized chunks: every chunk
+        # completes one straddler and starts the next.
+        out += decoder.feed(frame[:7])
+        high_water = 0
+        for _ in range(40):
+            out += decoder.feed(frame[7:] + frame[:7])
+            high_water = max(high_water, len(decoder._buffer))
+        assert all(f == b"y" * 10 for f in out)
+        assert len(out) == 40
+        assert high_water <= 32 + 2 * len(frame)

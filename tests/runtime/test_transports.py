@@ -216,3 +216,99 @@ def _wait_until(predicate, timeout):
         if time.monotonic() > deadline:
             raise TimeoutError("condition not met in time")
         time.sleep(0.01)
+
+
+class TestSendMany:
+    """Batched egress must be indistinguishable from N single sends on
+    the receive side: same messages, same order, same frame counts."""
+
+    def test_loopback_batch_delivers_in_order(self):
+        hub = LoopbackHub()
+        t_a = hub.attach(1)
+        received = []
+        hub.attach(2).on_receive(received.append)
+        batch = [_announce_stub(i) for i in range(5)]
+        t_a.send_many(2, batch)
+        hub.deliver_all()
+        assert received == batch
+        assert t_a.frames_sent == 5
+        assert hub.endpoints[2].frames_received == 5
+
+    def test_loopback_batch_matches_singles_byte_for_byte(self):
+        """The batched hub path must meter exactly the same bytes as
+        five individual sends."""
+        batch = [_announce_stub(i) for i in range(5)]
+
+        def totals(send):
+            hub = LoopbackHub()
+            t_a = hub.attach(1)
+            hub.attach(2).on_receive(lambda m: None)
+            send(t_a, batch)
+            hub.deliver_all()
+            return (t_a.bytes_sent, hub.endpoints[2].bytes_received)
+
+        def singles(t, ms):
+            for m in ms:
+                t.send(2, m)
+
+        assert totals(lambda t, ms: t.send_many(2, ms)) == \
+            totals(singles)
+
+    def test_loopback_drop_filter_is_per_message(self):
+        hub = LoopbackHub(drop_filter=lambda s, r, m:
+                          int(m.timestamp) % 2 == 0)
+        t_a = hub.attach(1)
+        received = []
+        hub.attach(2).on_receive(received.append)
+        t_a.send_many(2, [_announce_stub(i) for i in range(4)])
+        hub.deliver_all()
+        assert [m.timestamp for m in received] == [1.0, 3.0]
+        assert hub.frames_dropped == 2
+
+    def test_empty_batch_is_a_no_op(self):
+        hub = LoopbackHub()
+        t_a = hub.attach(1)
+        received = []
+        hub.attach(2).on_receive(received.append)
+        t_a.send_many(2, [])
+        hub.deliver_all()
+        assert received == []
+        assert t_a.frames_sent == 0
+
+    def test_loopback_unknown_receiver_rejected(self):
+        hub = LoopbackHub()
+        t_a = hub.attach(1)
+        with pytest.raises(TransportError):
+            t_a.send_many(99, [_announce_stub(0)])
+
+    def test_tcp_batch_crosses_a_real_socket(self):
+        received = []
+        server = TcpTransport(2)
+        server.on_receive(received.append)
+        server.start()
+        client = TcpTransport(1, peers={2: ("127.0.0.1", server.port)})
+        client.start()
+        try:
+            batch = [_announce_stub(i) for i in range(8)]
+            client.send_many(2, batch)
+            _wait_until(lambda: len(received) >= 8, timeout=10.0)
+            assert received == batch
+            assert client.frames_sent == 8
+            assert server.frames_received == 8
+        finally:
+            client.stop()
+            server.stop()
+
+    def test_tcp_send_many_before_start_raises(self):
+        transport = TcpTransport(1, peers={2: ("127.0.0.1", 1)})
+        with pytest.raises(TransportError):
+            transport.send_many(2, [_announce_stub(0)])
+
+    def test_tcp_send_many_unknown_peer_raises(self):
+        transport = TcpTransport(1)
+        transport.start()
+        try:
+            with pytest.raises(TransportError):
+                transport.send_many(99, [_announce_stub(0)])
+        finally:
+            transport.stop()
