@@ -28,6 +28,7 @@ SCOPE: Tuple[str, ...] = (
     "repro/spider/wire.py",
     "repro/runtime/codec.py",
     "repro/runtime/framing.py",
+    "repro/store/",
 )
 
 _DECODE_PREFIXES: Tuple[str, ...] = ("decode", "_decode", "read_",

@@ -24,7 +24,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..obs.metrics import Counter, Histogram
+from ..obs.metrics import Counter, Gauge, Histogram
 from ..obs.registry import Registry, get_registry, next_instance_id
 
 
@@ -162,9 +162,13 @@ class CpuMeter:
 
 
 class StorageMeter:
-    """Byte counters for durable state (log, snapshots, seeds).
+    """Byte levels for durable state (log, snapshots, seeds).
 
-    A registry view over ``storage_bytes_total{kind=...}``.
+    A registry view over ``storage_bytes_total{kind=...}``.  Storage is
+    a *level*, not a lifetime total: log trimming and checkpoint
+    compaction genuinely reclaim bytes, so the cells are gauges —
+    :meth:`record` raises the level, :meth:`release` lowers it, and the
+    gauge's high-water mark keeps the peak the §7.7 projection needs.
     """
 
     def __init__(self, registry: Optional[Registry] = None,
@@ -173,16 +177,16 @@ class StorageMeter:
             else get_registry()
         self.node = node
         self._instance = next_instance_id("storage")
-        self._counters: Dict[str, object] = {}
+        self._gauges: Dict[str, Gauge] = {}
 
-    def _counter(self, kind: str) -> Counter:
-        counter = self._counters.get(kind)
-        if counter is None:
-            counter = self._registry.counter(
+    def _gauge(self, kind: str) -> Gauge:
+        gauge = self._gauges.get(kind)
+        if gauge is None:
+            gauge = self._registry.gauge(
                 "storage_bytes_total", instance=self._instance,
                 node=self.node, kind=kind)
-            self._counters[kind] = counter
-        return counter
+            self._gauges[kind] = gauge
+        return gauge
 
     @property
     def bytes_by_kind(self) -> Dict[str, int]:
@@ -192,7 +196,13 @@ class StorageMeter:
     def record(self, kind: str, nbytes: int) -> None:
         if nbytes < 0:
             raise ValueError("byte count must be non-negative")
-        self._counter(kind).inc(nbytes)
+        self._gauge(kind).inc(nbytes)
+
+    def release(self, kind: str, nbytes: int) -> None:
+        """Account bytes reclaimed by trim/compaction for ``kind``."""
+        if nbytes < 0:
+            raise ValueError("byte count must be non-negative")
+        self._gauge(kind).dec(nbytes)
 
     def total(self, kind: Optional[str] = None) -> int:
         if kind is None:

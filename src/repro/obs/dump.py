@@ -36,14 +36,27 @@ from .registry import Registry, use_registry
 
 def counter_by_label(snap: Dict[str, Any], name: str, label: str
                      ) -> Dict[str, float]:
+    return metric_by_label(snap, name, label, kinds=("counters",))
+
+
+def metric_by_label(snap: Dict[str, Any], name: str, label: str,
+                    kinds: Tuple[str, ...] = ("counters", "gauges"),
+                    ) -> Dict[str, float]:
+    """Aggregate one metric family by a label, across snapshot kinds.
+
+    Storage moved from counters to gauges when trim/compaction started
+    reclaiming bytes, so attribution helpers look the name up in both
+    sections rather than hard-coding the metric kind.
+    """
     out: Dict[str, float] = {}
-    for entry in snap.get("counters", ()):
-        if entry["name"] != name:
-            continue
-        key = entry["labels"].get(label)
-        if key is None:
-            continue
-        out[key] = out.get(key, 0) + entry["value"]
+    for kind in kinds:
+        for entry in snap.get(kind, ()):
+            if entry["name"] != name:
+                continue
+            key = entry["labels"].get(label)
+            if key is None:
+                continue
+            out[key] = out.get(key, 0) + entry["value"]
     return out
 
 
@@ -72,7 +85,7 @@ def traffic_attribution(snap: Dict[str, Any]) -> Dict[str, float]:
 
 
 def storage_attribution(snap: Dict[str, Any]) -> Dict[str, float]:
-    return counter_by_label(snap, "storage_bytes_total", "kind")
+    return metric_by_label(snap, "storage_bytes_total", "kind")
 
 
 # ----------------------------------------------------------------------

@@ -63,6 +63,17 @@ TCP_DECODE_ERRORS_TOTAL = "tcp_decode_errors_total"
 # -- node runtime ------------------------------------------------------
 RUNTIME_INBOX_DEPTH = "runtime_inbox_depth"
 
+# -- durable log store (repro.store) -----------------------------------
+STORE_APPEND_BYTES_TOTAL = "store_append_bytes_total"
+STORE_RECORDS_TOTAL = "store_records_total"
+STORE_FSYNCS_TOTAL = "store_fsyncs_total"
+STORE_SEGMENTS = "store_segments"
+STORE_SEGMENT_ROTATIONS_TOTAL = "store_segment_rotations_total"
+STORE_RECLAIMED_BYTES_TOTAL = "store_reclaimed_bytes_total"
+STORE_RECOVERY_SECONDS = "store_recovery_seconds"
+STORE_RECOVERED_RECORDS_TOTAL = "store_recovered_records_total"
+STORE_TORN_BYTES_TOTAL = "store_torn_bytes_total"
+
 # -- soak scenario -----------------------------------------------------
 SOAK_SESSIONS = "soak_sessions"
 SOAK_MESSAGES_SENT_TOTAL = "soak_messages_sent_total"

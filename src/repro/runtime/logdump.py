@@ -7,16 +7,27 @@ module defines the canonical form: every entry as
 wire codec (messages), the seed+root pair (commitments), or a sorted
 canonical dump of the routing state (checkpoints).  Two logs that
 serialize identically recorded the same protocol history.
+
+:func:`decode_log_entry` is the strict inverse — it exists so the
+durable store (:mod:`repro.store`) can persist entries in exactly the
+canonical form and recover the in-memory objects on restart.  Every
+entry kind round-trips: ``decode_log_entry(encode_log_entry(e))``
+reproduces ``(kind, timestamp, payload)`` exactly, and malformed bytes
+fail closed as :class:`~repro.runtime.codec.CodecError`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple, Union
 
+from ..bgp.prefix import Prefix, PrefixError
+from ..bgp.route import Route
 from ..crypto.hashing import digest
 from ..spider.checkpoint import RoutingState
 from ..spider.log import EntryKind, LogEntry, SpiderLog
-from .codec import _Writer, encode_message
+from ..spider.wire import SpiderAck, SpiderAnnounce, SpiderWithdraw
+from .codec import CodecError, _Reader, _Writer, decode_message, \
+    encode_message
 
 _KIND_TAGS: Dict[EntryKind, int] = {
     EntryKind.SENT_ANNOUNCE: 0x10,
@@ -51,6 +62,52 @@ def _encode_state(state: RoutingState) -> bytes:
     return w.getvalue()
 
 
+def _decode_state(data: Union[bytes, memoryview]) -> RoutingState:
+    """Strict inverse of :func:`_encode_state`."""
+    r = _Reader(data)
+    state = RoutingState()
+    for label, tables in ((b"I", state.imports), (b"E", state.exports)):
+        if r.raw(1) != label:
+            raise CodecError(f"routing state misses section {label!r}")
+        for _ in range(r.u32()):
+            neighbor = r.u32()
+            if neighbor in tables:
+                raise CodecError(
+                    f"duplicate neighbor {neighbor} in routing state")
+            table: Dict[Prefix, Route] = {}
+            tables[neighbor] = table
+            for _ in range(r.u32()):
+                prefix = _read_prefix(r)
+                if prefix in table:
+                    raise CodecError(
+                        f"duplicate prefix in neighbor {neighbor} table")
+                route_neighbor = r.u32()
+                try:
+                    route = Route.from_bytes(r.blob16(),
+                                             neighbor=route_neighbor)
+                except (ValueError, PrefixError) as exc:
+                    raise CodecError(
+                        f"malformed route in routing state: {exc}"
+                    ) from exc
+                table[prefix] = route
+    if r.raw(1) != b"O":
+        raise CodecError("routing state misses section b'O'")
+    for _ in range(r.u32()):
+        prefix = _read_prefix(r)
+        if prefix in state.origins:
+            raise CodecError("duplicate origin prefix in routing state")
+        state.origins.add(prefix)
+    r.expect_end()
+    return state
+
+
+def _read_prefix(r: _Reader) -> Prefix:
+    try:
+        return Prefix.from_bytes(r.raw(5))
+    except PrefixError as exc:
+        raise CodecError(f"malformed prefix: {exc}") from exc
+
+
 def encode_log_entry(entry: LogEntry) -> bytes:
     w = _Writer()
     w.u8(_KIND_TAGS[entry.kind])
@@ -66,6 +123,57 @@ def encode_log_entry(entry: LogEntry) -> bytes:
         w.u32(len(encoded))
         w.raw(encoded)
     return w.getvalue()
+
+
+_KINDS_BY_TAG: Dict[int, EntryKind] = {
+    tag: kind for kind, tag in _KIND_TAGS.items()}
+
+#: The one message type each message-bearing kind may carry; a decoded
+#: payload of any other type is a forged or corrupted record.
+_KIND_MESSAGE_TYPES: Dict[EntryKind, type] = {
+    EntryKind.SENT_ANNOUNCE: SpiderAnnounce,
+    EntryKind.RECV_ANNOUNCE: SpiderAnnounce,
+    EntryKind.SENT_WITHDRAW: SpiderWithdraw,
+    EntryKind.RECV_WITHDRAW: SpiderWithdraw,
+    EntryKind.SENT_ACK: SpiderAck,
+    EntryKind.RECV_ACK: SpiderAck,
+}
+
+
+def decode_log_entry(data: Union[bytes, bytearray, memoryview]
+                     ) -> Tuple[EntryKind, float, object]:
+    """Strict inverse of :func:`encode_log_entry`.
+
+    Returns ``(kind, timestamp, payload)``; the chain fields that
+    complete a :class:`~repro.spider.log.LogEntry` travel outside the
+    canonical bytes (the durable store frames them alongside).  Fails
+    closed: unknown kind tags, payload/kind type mismatches, truncation
+    and trailing bytes all raise :class:`CodecError`.
+    """
+    r = _Reader(data)
+    tag = r.u8()
+    kind = _KINDS_BY_TAG.get(tag)
+    if kind is None:
+        raise CodecError(f"unknown log entry kind tag {tag:#x}")
+    timestamp = r.time_ms()
+    payload: object
+    if kind is EntryKind.COMMITMENT:
+        seed = r.blob16()
+        root = r.blob16()
+        payload = {"seed": seed, "root": root}
+    elif kind is EntryKind.CHECKPOINT:
+        payload = _decode_state(r.blob16())
+    else:
+        n = r.u32()
+        payload = decode_message(r.window(n))
+        expected_type = _KIND_MESSAGE_TYPES[kind]
+        if not isinstance(payload, expected_type):
+            raise CodecError(
+                f"{kind.value} entry carries a "
+                f"{type(payload).__name__}, expected "
+                f"{expected_type.__name__}")
+    r.expect_end()
+    return kind, timestamp, payload
 
 
 def encode_log(log: SpiderLog) -> bytes:

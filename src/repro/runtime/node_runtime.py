@@ -19,8 +19,8 @@ import heapq
 import itertools
 import time
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, \
-    Protocol, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, \
+    Optional, Protocol, Sequence, Tuple
 
 from ..bgp.messages import Announce, Withdraw
 from ..bgp.prefix import Prefix
@@ -30,10 +30,15 @@ from ..core.promise import Promise, total_order_promise
 from ..crypto.keys import Identity, KeyRegistry
 from ..obs.registry import ClockLike, get_registry
 from ..spider.config import SpiderConfig
+from ..spider.log import LogEntry
 from ..spider.node import SpiderNode
 from ..spider.recorder import CommitmentRecord, Recorder
 from .delivery import DeliveryService, RetryPolicy
 from .transport import Transport
+
+if TYPE_CHECKING:
+    from ..store.recovery import Recovery
+    from ..store.seglog import SegmentedLogStore
 
 
 class SteppableClock(ClockLike, Protocol):
@@ -131,7 +136,10 @@ class NodeRuntime:
                  config: Optional[SpiderConfig] = None,
                  clock: Optional[SteppableClock] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 retry_seed: int = 0):
+                 retry_seed: int = 0,
+                 store: Optional["SegmentedLogStore"] = None,
+                 store_dir: Optional[str] = None,
+                 store_fsync: str = "always"):
         if promises is None:
             promises = {n: total_order_promise(scheme)
                         for n in neighbors}
@@ -139,12 +147,30 @@ class NodeRuntime:
         self.clock = clock if clock is not None else StepClock()
         self.timers = TimerWheel(self.clock)
         self.transport = transport
+        # Durable log store: either injected, or opened from a
+        # directory.  Opening replays and chain-verifies everything on
+        # disk before the node processes its first message.  (Imported
+        # lazily: repro.store depends on this package's serializer, so
+        # a module-level import would cycle.)
+        self.store = store
+        self.recovery: Optional["Recovery"] = None
+        recovered_entries: Optional[Sequence[LogEntry]] = None
+        if self.store is None and store_dir is not None:
+            from ..store.seglog import SegmentedLogStore
+            self.store = SegmentedLogStore(store_dir, fsync=store_fsync,
+                                           node=f"as{identity.asn}")
+        if self.store is not None:
+            from ..store.recovery import recover
+            self.recovery = recover(self.store)
+            if self.recovery.entries:
+                recovered_entries = self.recovery.entries
         self.node = SpiderNode(
             identity=identity, registry=registry, scheme=scheme,
             promises=promises, config=self.config, clock=self.clock,
             transport=transport,
             master_seed=b"spider-runtime-%d" % identity.asn,
-            schedule=self.timers.schedule)
+            schedule=self.timers.schedule, log_store=self.store,
+            recovered_entries=recovered_entries)
         self.delivery = DeliveryService(
             self.node.recorder, schedule=self.timers.schedule,
             policy=retry_policy, seed=retry_seed)
@@ -206,7 +232,16 @@ class NodeRuntime:
             processed += 1
         if processed:
             self._inbox_gauge.set(len(self.inbox))
+            # Group-commit boundary: everything this round logged
+            # (received messages, ACK bookkeeping) becomes durable
+            # before the caller observes it as processed.
+            self.recorder.log.sync()
         return processed
+
+    def close(self) -> None:
+        """Flush and close the durable store, if one is attached."""
+        if self.store is not None:
+            self.store.close()
 
     def wait_for_inbox(self, count: int, timeout: float = 30.0) -> None:
         """Block (wall time) until ``count`` messages are queued.

@@ -9,14 +9,21 @@ per-commitment storage cost is 32 bytes (Section 7.7).
 
 Retention: verification reaches back at most ``retention_seconds``;
 :meth:`SpiderLog.trim` discards older entries once a newer checkpoint
-covers them.
+covers them, reporting the bytes reclaimed per storage kind so the
+Section 7.7 accounting can follow compaction down as well as up.
+
+Durability is pluggable: a :class:`LogSink` (the on-disk segmented
+store in :mod:`repro.store`, or nothing for the default in-memory
+behavior) sees every entry *before* it becomes visible in memory, so
+an acknowledged message is always at least as durable as the protocol
+state built on it.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol
 
 from ..crypto.hashing import DIGEST_SIZE, digest_fields
 
@@ -30,6 +37,19 @@ class EntryKind(enum.Enum):
     RECV_ACK = "recv_ack"
     COMMITMENT = "commitment"
     CHECKPOINT = "checkpoint"
+
+
+def storage_kind(kind: EntryKind) -> str:
+    """The Section 7.7 storage category for one entry kind.
+
+    Commitments and checkpoints are reported separately from the
+    message log proper; everything else is plain log growth.
+    """
+    if kind is EntryKind.COMMITMENT:
+        return "commitments"
+    if kind is EntryKind.CHECKPOINT:
+        return "checkpoints"
+    return "log"
 
 
 @dataclass(frozen=True)
@@ -54,13 +74,81 @@ class TamperError(RuntimeError):
     """Raised when the hash chain fails to verify."""
 
 
-class SpiderLog:
-    """Append-only hash-chained log."""
+class LogSink(Protocol):
+    """Durable destination for log entries (see :mod:`repro.store`).
 
-    def __init__(self, retention_seconds: float = 365 * 24 * 3600):
+    Structural, so :mod:`repro.spider` never imports the store package
+    (the store's serializer imports :mod:`repro.runtime.logdump`, which
+    imports this module — a nominal base class here would cycle).
+    """
+
+    def append(self, entry: "LogEntry") -> None:
+        """Persist one entry; called *before* it is visible in memory."""
+        ...
+
+    def sync(self) -> None:
+        """Make every appended entry durable (group-commit boundary)."""
+        ...
+
+    def trim(self, keep_from_index: int) -> int:
+        """Reclaim storage for entries below ``keep_from_index``;
+        returns the bytes released on the durable medium."""
+        ...
+
+
+class StorageAccount(Protocol):
+    """The slice of :class:`repro.netsim.metering.StorageMeter` the log
+    needs for trim accounting (structural for the same no-cycle
+    reason as :class:`LogSink`)."""
+
+    def release(self, kind: str, nbytes: int) -> None: ...
+
+
+@dataclass(frozen=True)
+class TrimReport:
+    """What one :meth:`SpiderLog.trim` call reclaimed.
+
+    ``entries`` counts discarded log entries; ``bytes_reclaimed`` sums
+    their logical ``size_bytes`` (the quantity the storage gauge
+    tracks), split by storage kind in ``bytes_by_kind``.
+    """
+
+    entries: int
+    bytes_reclaimed: int
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+
+
+class SpiderLog:
+    """Append-only hash-chained log with an optional durable sink."""
+
+    def __init__(self, retention_seconds: float = 365 * 24 * 3600,
+                 sink: Optional[LogSink] = None,
+                 storage: Optional[StorageAccount] = None):
         self.retention_seconds = retention_seconds
+        self.sink = sink
+        self.storage = storage
         self._entries: List[LogEntry] = []
         self._head: bytes = bytes(DIGEST_SIZE)
+        #: Next index to assign.  Distinct from ``len(self._entries)``
+        #: once :meth:`trim` has dropped a prefix: indices are monotonic
+        #: over the log's whole lifetime, never reused.
+        self._next_index = 0
+
+    @classmethod
+    def restore(cls, entries: Iterable[LogEntry],
+                retention_seconds: float = 365 * 24 * 3600,
+                sink: Optional[LogSink] = None,
+                storage: Optional[StorageAccount] = None) -> "SpiderLog":
+        """Rebuild a log from already-persisted entries (crash
+        recovery).  The entries are adopted as-is — they are *not*
+        re-appended to the sink."""
+        log = cls(retention_seconds=retention_seconds, sink=sink,
+                  storage=storage)
+        log._entries = list(entries)
+        if log._entries:
+            log._head = log._entries[-1].chain
+            log._next_index = log._entries[-1].index + 1
+        return log
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -84,12 +172,22 @@ class SpiderLog:
             int(round(timestamp * 1000)).to_bytes(8, "big"),
             size_bytes.to_bytes(8, "big"),
         )
-        entry = LogEntry(index=len(self._entries), timestamp=timestamp,
+        entry = LogEntry(index=self._next_index, timestamp=timestamp,
                          kind=kind, payload=payload,
                          size_bytes=size_bytes, chain=chain)
+        if self.sink is not None:
+            # Durable before visible: a sink failure leaves the
+            # in-memory log exactly as it was.
+            self.sink.append(entry)
         self._entries.append(entry)
         self._head = chain
+        self._next_index = entry.index + 1
         return entry
+
+    def sync(self) -> None:
+        """Group-commit boundary: flush the sink, if any."""
+        if self.sink is not None:
+            self.sink.sync()
 
     # ------------------------------------------------------------------
     # Queries used by replay and evidence
@@ -122,9 +220,21 @@ class SpiderLog:
     # Integrity and retention
 
     def verify_chain(self) -> None:
-        """Recompute the chain; raises :class:`TamperError` on mismatch."""
-        head = bytes(DIGEST_SIZE)
-        for entry in self._entries:
+        """Recompute the chain; raises :class:`TamperError` on mismatch.
+
+        A trimmed/compacted log no longer starts at genesis: the first
+        surviving entry's stored chain value is then the trust anchor
+        (a checkpoint at or before it covers everything discarded), and
+        verification checks the linkage from there onward.
+        """
+        entries = self._entries
+        if entries and entries[0].index > 0:
+            head = entries[0].chain
+            start = 1
+        else:
+            head = bytes(DIGEST_SIZE)
+            start = 0
+        for entry in entries[start:]:
             expected = digest_fields(
                 head, entry.kind.value.encode(),
                 int(round(entry.timestamp * 1000)).to_bytes(8, "big"),
@@ -137,21 +247,33 @@ class SpiderLog:
         if head != self._head:
             raise TamperError("log head does not match the chain")
 
-    def trim(self, now: float) -> int:
-        """Drop entries older than the retention window, keeping at least
-        one checkpoint that predates the window (replay needs a base).
-        Returns the number of entries discarded."""
+    def trim(self, now: float) -> TrimReport:
+        """Drop entries older than the retention window, keeping at
+        least one checkpoint that predates the window (replay needs a
+        base).  Reclaimed logical bytes are released from the storage
+        account and the durable sink, and reported per kind."""
         horizon = now - self.retention_seconds
-        base: Optional[int] = None
-        for entry in self._entries:
+        base: Optional[int] = None  # list position, not entry index
+        for position, entry in enumerate(self._entries):
             if entry.kind is EntryKind.CHECKPOINT and \
                     entry.timestamp <= horizon:
-                base = entry.index
-        if base is None:
-            return 0
-        dropped = base  # keep the checkpoint itself
+                base = position
+        if base is None or base == 0:
+            return TrimReport(entries=0, bytes_reclaimed=0)
+        dropped = self._entries[:base]  # keep the checkpoint itself
         self._entries = self._entries[base:]
-        return dropped
+        by_kind: Dict[str, int] = {}
+        for entry in dropped:
+            kind = storage_kind(entry.kind)
+            by_kind[kind] = by_kind.get(kind, 0) + entry.size_bytes
+        if self.storage is not None:
+            for kind, nbytes in sorted(by_kind.items()):
+                self.storage.release(kind, nbytes)
+        if self.sink is not None:
+            self.sink.trim(self._entries[0].index)
+        return TrimReport(entries=len(dropped),
+                          bytes_reclaimed=sum(by_kind.values()),
+                          bytes_by_kind=by_kind)
 
     # ------------------------------------------------------------------
     # Accounting (Section 7.7)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, \
-    Optional, Tuple
+    Optional, Sequence, Tuple
 
 from ..bgp.prefix import Prefix
 from ..core.classes import ClassScheme, path_length_scheme
@@ -24,6 +24,7 @@ from ..netsim.network import Network
 from .checker import Checker, CheckReport
 from .checkpoint import replay
 from .config import SpiderConfig
+from .log import LogEntry, LogSink
 from .proofgen import ProofGenerator, ProofSet
 from ..obs.registry import ClockLike
 from .checkpoint import RoutingState
@@ -54,14 +55,24 @@ class SpiderNode:
                  config: SpiderConfig, clock: ClockLike,
                  transport: Transport, master_seed: bytes,
                  recorder_factory: Callable[..., Recorder] = Recorder,
-                 schedule: Optional[Scheduler] = None):
+                 schedule: Optional[Scheduler] = None,
+                 log_store: Optional[LogSink] = None,
+                 recovered_entries: Optional[
+                     Sequence[LogEntry]] = None):
         self.identity = identity
         self.registry = registry
+        # Store kwargs are forwarded only when set, so custom recorder
+        # factories that predate durability keep working unchanged.
+        extra: Dict[str, object] = {}
+        if log_store is not None:
+            extra["log_store"] = log_store
+        if recovered_entries is not None:
+            extra["recovered_entries"] = recovered_entries
         self.recorder = recorder_factory(
             identity=identity, registry=registry, scheme=scheme,
             promises=promises, config=config, clock=clock,
             transport=transport, master_seed=master_seed,
-            schedule=schedule)
+            schedule=schedule, **extra)
         self.proofgen = ProofGenerator(self.recorder)
         self.checker = Checker(identity.asn, registry, scheme)
         #: Commitments received from neighbors: (elector, time) → message.

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, \
-    Set, Tuple
+    Sequence, Set, Tuple
 
 from ..bgp.messages import Announce, Update
 from ..bgp.prefix import Prefix
@@ -23,7 +23,7 @@ from ..bgp.route import NULL_ROUTE, Route
 from ..core.bits import compute_bits
 from ..core.classes import ClassScheme, RouteOrNull
 from ..core.promise import Promise
-from ..crypto.hashing import digest_fields
+from ..crypto.hashing import constant_time_eq, digest_fields
 from ..crypto.keys import Identity, KeyRegistry
 from ..crypto.rc4 import Rc4Csprng
 from ..crypto.signatures import Signed, Signer, Verifier
@@ -34,7 +34,7 @@ from ..obs.registry import ClockLike, get_registry
 from .checkpoint import RoutingState, apply_entry, elector_view, \
     take_checkpoint
 from .config import SpiderConfig
-from .log import EntryKind, LogEntry, SpiderLog
+from .log import EntryKind, LogEntry, LogSink, SpiderLog, storage_kind
 from .wire import SpiderAck, SpiderAnnounce, SpiderCommitment, \
     SpiderWithdraw, ack_payload, announce_payload, \
     route_signature_payload, withdraw_payload
@@ -96,7 +96,9 @@ class Recorder:
                  transport: Transport,
                  schedule: Optional[Scheduler] = None,
                  master_seed: bytes = b"spider-master",
-                 cpu: Optional[CpuMeter] = None):
+                 cpu: Optional[CpuMeter] = None,
+                 log_store: Optional[LogSink] = None,
+                 recovered_entries: Optional[Sequence[LogEntry]] = None):
         self.identity = identity
         self.registry = registry
         self.scheme = scheme
@@ -112,7 +114,15 @@ class Recorder:
         self.storage = StorageMeter(node=node)
         self.signer = Signer(identity)
         self.verifier = Verifier(registry)
-        self.log = SpiderLog(retention_seconds=config.retention_seconds)
+        if recovered_entries is not None:
+            self.log = SpiderLog.restore(
+                recovered_entries,
+                retention_seconds=config.retention_seconds,
+                sink=log_store, storage=self.storage)
+        else:
+            self.log = SpiderLog(
+                retention_seconds=config.retention_seconds,
+                sink=log_store, storage=self.storage)
         self.state = RoutingState()
         self.commitments: List[CommitmentRecord] = []
         self.alarms: List[str] = []
@@ -129,10 +139,66 @@ class Recorder:
         self.sent_hooks: List[Callable[[object], None]] = []
         self.ack_hooks: List[Callable[[SpiderAck], None]] = []
         self.receive_hooks: List[Callable[[object], None]] = []
+        if recovered_entries is not None:
+            self._adopt_recovery()
 
     @property
     def asn(self) -> int:
         return self.identity.asn
+
+    # ------------------------------------------------------------------
+    # Crash recovery (the durable-store path; see repro.store.recovery)
+
+    def _adopt_recovery(self) -> None:
+        """Re-arm protocol state from an already-verified recovered log.
+
+        Everything the recorder tracks beside the log is a pure
+        function of the log plus its deterministic secrets: routing
+        state replays through :func:`apply_entry`; import signatures
+        and pending ACKs come from the logged messages; commitment
+        records re-derive their seeds from the master secret and
+        re-sign their broadcast messages (signing is deterministic, so
+        the bytes match the pre-crash originals exactly).  The census
+        total is not logged — recovered records report it as zero.
+        """
+        for entry in self.log:
+            self.storage.record(storage_kind(entry.kind),
+                                entry.size_bytes)
+            apply_entry(self.state, self.asn, entry)
+            message = entry.payload
+            if entry.kind is EntryKind.RECV_ANNOUNCE:
+                assert isinstance(message, SpiderAnnounce)
+                self._import_sigs[(message.sender, message.prefix)] = \
+                    message.route_sig
+            elif entry.kind in (EntryKind.SENT_ANNOUNCE,
+                                EntryKind.SENT_WITHDRAW):
+                assert isinstance(message,
+                                  (SpiderAnnounce, SpiderWithdraw))
+                self._awaiting_ack[message.message_hash()] = \
+                    (entry.timestamp, message.receiver)
+            elif entry.kind is EntryKind.RECV_ACK:
+                assert isinstance(message, SpiderAck)
+                self._awaiting_ack.pop(message.message_hash, None)
+            elif entry.kind is EntryKind.COMMITMENT:
+                self._adopt_commitment(entry)
+            elif entry.kind is EntryKind.CHECKPOINT:
+                self._checkpointed_at = entry.timestamp
+
+    def _adopt_commitment(self, entry: LogEntry) -> None:
+        payload = entry.payload
+        assert isinstance(payload, dict)
+        seed, root = payload["seed"], payload["root"]
+        if not constant_time_eq(seed,
+                                self.commitment_seed(entry.timestamp)):
+            self.alarm("recovered_seed_mismatch",
+                       f"logged commitment seed at t={entry.timestamp} "
+                       "does not derive from this master secret")
+        with self.cpu.section("signatures"):
+            message = SpiderCommitment.make(self.signer,
+                                            entry.timestamp, root)
+        self.commitments.append(CommitmentRecord(
+            commit_time=entry.timestamp, root=root, message=message,
+            census_total=0))
 
     # ------------------------------------------------------------------
     # Observation hooks
@@ -159,17 +225,12 @@ class Recorder:
         self._obs.counter("spider_alarms_total", node=f"as{self.asn}",
                           reason=reason).inc()
 
-    #: Section 7.7 reports commitments and checkpoints separately from
-    #: the message log proper; everything else is plain log growth.
-    _STORAGE_KINDS = {EntryKind.COMMITMENT: "commitments",
-                      EntryKind.CHECKPOINT: "checkpoints"}
-
     def _log_append(self, timestamp: float, kind: EntryKind,
                     message: object, size_bytes: int) -> LogEntry:
         """Append to the tamper-evident log, metering durable growth
-        (the Section 7.7 storage accounting rides on every append)."""
-        self.storage.record(self._STORAGE_KINDS.get(kind, "log"),
-                            size_bytes)
+        (the Section 7.7 storage accounting rides on every append;
+        :func:`~repro.spider.log.storage_kind` splits the categories)."""
+        self.storage.record(storage_kind(kind), size_bytes)
         return self.log.append(timestamp, kind, message,
                                size_bytes=size_bytes)
 
@@ -287,6 +348,9 @@ class Recorder:
             if kind is not EntryKind.SENT_ACK:
                 for hook in self.sent_hooks:
                     hook(message)
+        # Group-commit boundary: everything this chunk logged is made
+        # durable before control returns to the protocol.
+        self.log.sync()
         return len(chunk)
 
     def _underlying_for(self, route: Route) -> Optional[Signed]:
@@ -451,6 +515,10 @@ class Recorder:
                                   census_total=tree.census().total)
         self.commitments.append(record)
         self._maybe_checkpoint(commit_time)
+        # The seed and any checkpoint must be durable before the root
+        # is broadcast: a post-crash recorder must be able to answer
+        # verification requests for every commitment it published.
+        self.log.sync()
         for neighbor in self._all_neighbors():
             self.transport(neighbor, message)
         return record

@@ -1,0 +1,44 @@
+"""repro.store — the durable segmented tamper-evident log.
+
+The paper's recorder must hold its hash-chained evidence log (§6.5)
+and its 32-byte-per-commitment seeds (§7.7) across restarts; this
+package is the on-disk half of that log.  Bottom-up:
+
+* :mod:`~repro.store.segment` — the byte format: CRC32-framed records
+  carrying the canonical evidence-log encoding, plus segment scanning;
+* :mod:`~repro.store.seglog` — :class:`SegmentedLogStore`, the
+  :class:`~repro.spider.log.LogSink` implementation with size-based
+  rotation, ``never``/``batch``/``always`` fsync policies with group
+  commit, and torn-tail truncation on open;
+* :mod:`~repro.store.recovery` — replay segments into verified
+  :class:`~repro.spider.log.LogEntry` objects, checking CRCs *and* the
+  Section 6.5 hash chain so tampering-at-rest fails at startup;
+* :mod:`~repro.store.compact` — whole-segment retirement once a signed
+  checkpoint covers a span (the disk mirror of ``SpiderLog.trim``);
+* :mod:`~repro.store.inspect` — the ``python -m repro.store.inspect``
+  CLI for listing and verifying a store directory.
+
+Layering: this package sits *above* :mod:`repro.spider` (it persists
+its log entries) and imports the canonical serializer from
+:mod:`repro.runtime.logdump`; the spider layer reaches back only
+through the structural ``LogSink`` protocol, never by importing this
+package.
+"""
+
+from .compact import droppable_segments
+from .recovery import Recovery, RecoveryStats, rebuild_entries, recover
+from .seglog import DEFAULT_BATCH_BYTES, DEFAULT_SEGMENT_BYTES, \
+    FSYNC_POLICIES, SegmentedLogStore
+from .segment import RawRecord, ScanResult, SegmentInfo, \
+    StoreCorruptionError, StoreError, list_segments, scan_segment, \
+    segment_filename
+
+__all__ = [
+    "droppable_segments",
+    "Recovery", "RecoveryStats", "rebuild_entries", "recover",
+    "DEFAULT_BATCH_BYTES", "DEFAULT_SEGMENT_BYTES", "FSYNC_POLICIES",
+    "SegmentedLogStore",
+    "RawRecord", "ScanResult", "SegmentInfo",
+    "StoreCorruptionError", "StoreError", "list_segments",
+    "scan_segment", "segment_filename",
+]

@@ -1,0 +1,37 @@
+"""Checkpoint compaction: whole-segment retirement.
+
+Once a signed checkpoint covers a span of the log,
+:meth:`repro.spider.log.SpiderLog.trim` keeps that checkpoint as the
+replay base and discards everything older.  On disk the same retention
+maps to *whole files*: a segment is removable exactly when every record
+in it precedes the first index the in-memory log still holds.  Partial
+segments are never rewritten — rewriting would re-open the door to the
+torn-write states recovery exists to handle — so reclamation happens in
+segment-sized steps, which is why the store rotates segments at a
+modest size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .segment import SegmentInfo
+
+
+def droppable_segments(segments: Sequence[SegmentInfo],
+                       keep_from_index: int) -> List[SegmentInfo]:
+    """The leading segments whose records *all* precede
+    ``keep_from_index``.
+
+    A segment's record range ends where the next segment begins, so a
+    segment is fully covered iff its successor's base index is at or
+    below the keep boundary.  The final (active) segment has no
+    successor and is never dropped — it is the one being written.
+    """
+    droppable: List[SegmentInfo] = []
+    for info, successor in zip(segments, segments[1:]):
+        if successor.base_index <= keep_from_index:
+            droppable.append(info)
+        else:
+            break
+    return droppable

@@ -24,10 +24,15 @@ def fabricated_snapshot() -> dict:
              "labels": {"category": "bgp"}, "value": 100},
             {"name": "traffic_bytes_total",
              "labels": {"category": "spider"}, "value": 300},
-            {"name": "storage_bytes_total",
-             "labels": {"kind": "log"}, "value": 4096},
         ],
-        "gauges": [], "histograms": [], "spans": [],
+        # Storage is a gauge (trim decrements it; high_water keeps the
+        # peak for §7.7).
+        "gauges": [
+            {"name": "storage_bytes_total",
+             "labels": {"kind": "log"}, "value": 4096,
+             "high_water": 4096},
+        ],
+        "histograms": [], "spans": [],
     }
 
 
@@ -86,8 +91,9 @@ class TestScenarioSnapshot:
         assert "signatures_made_total" in names
         assert "mtt_hashes_total" in names
         assert "transport_frames_sent_total" in names
-        assert "storage_bytes_total" in names
         assert "delivery_acks_matched_total" in names
+        gauge_names = {entry["name"] for entry in snap["gauges"]}
+        assert "storage_bytes_total" in gauge_names
 
     def test_commitment_spans_recorded(self, snap):
         commits = [s for s in snap["spans"] if s["name"] == "commitment"]

@@ -33,6 +33,11 @@ GOLDEN_NAMES = sorted([
     "runtime_inbox_depth",
     "soak_sessions", "soak_messages_sent_total",
     "soak_acks_received_total",
+    "store_append_bytes_total", "store_records_total",
+    "store_fsyncs_total", "store_segments",
+    "store_segment_rotations_total", "store_reclaimed_bytes_total",
+    "store_recovery_seconds", "store_recovered_records_total",
+    "store_torn_bytes_total",
     "commitment",
 ])
 

@@ -26,6 +26,9 @@ from hypothesis import given, settings, strategies as st
 
 import repro
 from repro.runtime import codec
+from repro.runtime.logdump import decode_log_entry, encode_log_entry
+from repro.spider.checkpoint import RoutingState
+from repro.spider.log import EntryKind, LogEntry
 from tests.runtime.test_codec_roundtrip import acks, announces, \
     bit_proofs, commitments, prefixes, routes, withdraws
 
@@ -183,3 +186,102 @@ def test_codec_truncation_per_type(name, data):
     cut = data.draw(st.integers(0, len(encoded) - 1))
     with pytest.raises(codec.CodecError):
         codec.decode_message(encoded[:cut])
+
+
+# ----------------------------------------------------------------------
+# Corruption properties (canonical log-entry encoding, per EntryKind)
+#
+# Same enumerated-coverage construction as above: every EntryKind must
+# have a payload strategy, so adding a kind without extending the
+# durable-store encoding fails the registry test here.
+
+
+@st.composite
+def routing_states(draw):
+    state = RoutingState()
+    for table in (state.imports, state.exports):
+        for _ in range(draw(st.integers(0, 2))):
+            neighbor = draw(st.integers(1, 65535))
+            route = draw(routes())
+            table.setdefault(neighbor, {})[route.prefix] = route
+    state.origins = set(draw(st.lists(prefixes(), max_size=2)))
+    return state
+
+
+def commitment_payloads():
+    return st.fixed_dictionaries({
+        "seed": st.binary(min_size=0, max_size=32),
+        "root": st.binary(min_size=0, max_size=32),
+    })
+
+
+ENTRY_STRATEGIES = {
+    EntryKind.SENT_ANNOUNCE: announces(),
+    EntryKind.RECV_ANNOUNCE: announces(),
+    EntryKind.SENT_WITHDRAW: withdraws(),
+    EntryKind.RECV_WITHDRAW: withdraws(),
+    EntryKind.SENT_ACK: acks(),
+    EntryKind.RECV_ACK: acks(),
+    EntryKind.COMMITMENT: commitment_payloads(),
+    EntryKind.CHECKPOINT: routing_states(),
+}
+
+_ENTRY_PARAMS = sorted(ENTRY_STRATEGIES, key=lambda kind: kind.value)
+
+#: Millisecond-grid timestamps (the wire resolution).
+_TIMESTAMPS = st.integers(0, 10**10).map(lambda ms: ms / 1000.0)
+
+
+def _entry(kind, timestamp, payload):
+    return LogEntry(index=0, timestamp=timestamp, kind=kind,
+                    payload=payload, size_bytes=1,
+                    chain=bytes(20))
+
+
+def test_every_entry_kind_has_a_strategy():
+    assert set(ENTRY_STRATEGIES) == set(EntryKind), (
+        "EntryKind changed; give the new kind a payload strategy here "
+        "so its canonical encoding is corruption-fuzzed")
+
+
+@pytest.mark.parametrize("kind", _ENTRY_PARAMS,
+                         ids=[k.value for k in _ENTRY_PARAMS])
+@settings(max_examples=75, deadline=None)
+@given(data=st.data())
+def test_log_entry_roundtrip_exact(kind, data):
+    payload = data.draw(ENTRY_STRATEGIES[kind])
+    timestamp = data.draw(_TIMESTAMPS)
+    encoded = encode_log_entry(_entry(kind, timestamp, payload))
+    assert decode_log_entry(encoded) == (kind, timestamp, payload)
+
+
+@pytest.mark.parametrize("kind", _ENTRY_PARAMS,
+                         ids=[k.value for k in _ENTRY_PARAMS])
+@settings(max_examples=75, deadline=None)
+@given(data=st.data())
+def test_log_entry_truncation_raises(kind, data):
+    payload = data.draw(ENTRY_STRATEGIES[kind])
+    encoded = encode_log_entry(_entry(kind, data.draw(_TIMESTAMPS),
+                                      payload))
+    cut = data.draw(st.integers(0, len(encoded) - 1))
+    with pytest.raises(codec.CodecError):
+        decode_log_entry(encoded[:cut])
+
+
+@pytest.mark.parametrize("kind", _ENTRY_PARAMS,
+                         ids=[k.value for k in _ENTRY_PARAMS])
+@settings(max_examples=75, deadline=None)
+@given(data=st.data())
+def test_log_entry_bitflip_never_misparses(kind, data):
+    payload = data.draw(ENTRY_STRATEGIES[kind])
+    timestamp = data.draw(_TIMESTAMPS)
+    encoded = bytearray(
+        encode_log_entry(_entry(kind, timestamp, payload)))
+    pos = data.draw(st.integers(0, len(encoded) - 1))
+    encoded[pos] ^= data.draw(st.integers(1, 255))
+    try:
+        decoded = decode_log_entry(bytes(encoded))
+    except codec.CodecError:
+        return
+    assert decoded != (kind, timestamp, payload), (
+        "corrupted bytes decoded back to the original entry")

@@ -95,11 +95,13 @@ class TestSpiderLog:
         # the t=50 one is too recent to serve as a base... the t=0 one
         # is the last checkpoint ≤ horizon, so entries before it (none)
         # are dropped.
-        assert log.trim(now=120.0) == 0
+        assert log.trim(now=120.0).entries == 0
         # At t=200 the horizon is 100: the t=50 checkpoint qualifies and
         # everything before it can go.
         dropped = log.trim(now=200.0)
-        assert dropped == 6
+        assert dropped.entries == 6
+        assert dropped.bytes_reclaimed == 60
+        assert dropped.bytes_by_kind == {"checkpoints": 10, "log": 50}
         assert log._entries[0].kind is EntryKind.CHECKPOINT
 
 

@@ -1,0 +1,1 @@
+"""Tests for the durable segmented log store (:mod:`repro.store`)."""

@@ -1,0 +1,96 @@
+"""NodeRuntime restart-from-store: the ISSUE 7 acceptance criterion.
+
+A runtime with ``fsync=always`` must recover its full hash chain,
+commitment seeds, and checkpoint cursor after dying mid-run — and the
+evidence log it then produces must be byte-identical to one from a
+process that never died.
+"""
+
+import pytest
+
+from repro.obs.registry import Registry, use_registry
+from repro.runtime.logdump import encode_log
+from repro.runtime.scenario import ASN_A, ASN_B, _drive_first_round, \
+    exchange_runtime, resume_store_exchange, run_store_reference, \
+    run_store_smoke
+from repro.runtime.transport import LoopbackHub
+from repro.spider.log import EntryKind
+
+
+@pytest.fixture()
+def reference():
+    with use_registry(Registry()):
+        return run_store_reference()
+
+
+def run_phase1(store_dir, close=True):
+    with use_registry(Registry()):
+        hub = LoopbackHub()
+        rt_a = exchange_runtime(ASN_A, hub.attach(ASN_A),
+                                store_dir=store_dir,
+                                store_fsync="always")
+        rt_b = exchange_runtime(ASN_B, hub.attach(ASN_B))
+        _drive_first_round(hub, rt_a, rt_b)
+        log_hex = encode_log(rt_a.recorder.log).hex()
+        if close:
+            rt_a.close()
+        return log_hex
+
+
+class TestInProcessRestart:
+    def test_resumed_log_byte_identical(self, tmp_path, reference):
+        store_dir = str(tmp_path / "store")
+        phase1_hex = run_phase1(store_dir)
+        assert phase1_hex == reference["phase1_hex"]
+        with use_registry(Registry()):
+            recovered, final = resume_store_exchange(store_dir)
+        assert recovered["log_hex"] == reference["phase1_hex"]
+        assert final["log_hex"] == reference["final_hex"]
+        assert final["own_root"] == reference["final_root"]
+        assert final["entries"] == reference["entries"]
+
+    def test_checkpoint_cursor_survives(self, tmp_path, reference):
+        """The resumed round must NOT re-checkpoint: the cursor from
+        round one (24 h interval) was recovered, so exactly one new
+        entry — the second commitment — appears."""
+        store_dir = str(tmp_path / "store")
+        run_phase1(store_dir)
+        with use_registry(Registry()):
+            recovered, final = resume_store_exchange(store_dir)
+        assert final["entries"] == recovered["entries"] + 1
+
+    def test_recovery_without_close_under_fsync_always(self, tmp_path):
+        """Dropping the runtime without close() loses nothing."""
+        store_dir = str(tmp_path / "store")
+        phase1_hex = run_phase1(store_dir, close=False)
+        with use_registry(Registry()):
+            recovered, _final = resume_store_exchange(store_dir)
+        assert recovered["log_hex"] == phase1_hex
+
+    def test_recovered_runtime_reports_stats(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        run_phase1(store_dir)
+        with use_registry(Registry()) as registry:
+            hub = LoopbackHub()
+            rt_a = exchange_runtime(ASN_A, hub.attach(ASN_A),
+                                    store_dir=store_dir)
+            assert rt_a.recovery is not None
+            assert rt_a.recovery.stats.records == 4
+            assert rt_a.recovery.stats.torn_bytes == 0
+            kinds = [e.kind for e in rt_a.recovery.entries]
+            assert kinds == [EntryKind.SENT_ANNOUNCE,
+                             EntryKind.RECV_ACK,
+                             EntryKind.COMMITMENT,
+                             EntryKind.CHECKPOINT]
+            assert registry.total("store_recovered_records_total") == 4
+            rt_a.close()
+
+
+class TestKillRestartSmoke:
+    def test_sigkill_child_then_recover(self, tmp_path):
+        """The full subprocess SIGKILL scenario (also run by CI)."""
+        with use_registry(Registry()):
+            summary = run_store_smoke(str(tmp_path / "store"))
+        assert summary["byte_identical"] is True
+        assert summary["recovered_entries"] == 4
+        assert summary["final_entries"] == summary["reference_entries"]
