@@ -102,6 +102,27 @@ ProofOfMisbehavior = Union[EquivocationPoM, ProducerChallengePoM,
 
 
 @dataclass(frozen=True)
+class DetectionRecord:
+    """One detection in the cross-system shape the campaign oracle eats.
+
+    SPIDeR verdicts, NetReview audit findings, ACK-timeout alarms and
+    commitment cross-checks all normalize into this record so the
+    differential oracle (:mod:`repro.faults.oracle`) can compare the two
+    systems on equal terms.  ``system`` is ``"spider"`` or
+    ``"netreview"``; ``source`` names the mechanism that fired
+    (``"promise-verify"``, ``"extended"``, ``"audit"``, ``"ack-sweep"``,
+    ``"commitment"``).
+    """
+
+    system: str
+    detector: int
+    accused: int
+    kind: FaultKind
+    source: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
 class Verdict:
     """One detected fault, possibly with transferable evidence."""
 

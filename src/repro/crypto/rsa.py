@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 import secrets
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from .hashing import digest
 
@@ -142,6 +142,13 @@ class PrivateKey:
         return s_q + h * self.q
 
 
+#: Memoized seeded keypairs.  Seeded generation is a pure function of
+#: (bits, seed), and simulations (notably adversarial campaigns, which
+#: stand up several deployments per run) request the same identities
+#: over and over; PrivateKey is frozen, so sharing instances is safe.
+_seeded_cache: Dict[Tuple[int, int], PrivateKey] = {}
+
+
 def generate_keypair(bits: int = DEFAULT_KEY_BITS,
                      seed: Optional[int] = None) -> PrivateKey:
     """Generate an RSA keypair.
@@ -153,6 +160,10 @@ def generate_keypair(bits: int = DEFAULT_KEY_BITS,
         raise ValueError(
             "modulus must be at least 256 bits to hold a padded digest"
         )
+    if seed is not None:
+        cached = _seeded_cache.get((bits, seed))
+        if cached is not None:
+            return cached
     rng = random.Random(seed) if seed is not None else \
         random.Random(secrets.randbits(128))
     e = PUBLIC_EXPONENT
@@ -168,11 +179,14 @@ def generate_keypair(bits: int = DEFAULT_KEY_BITS,
         if phi % e == 0:
             continue
         d = pow(e, -1, phi)
-        return PrivateKey(
+        key = PrivateKey(
             n=n, e=e, d=d, p=p, q=q,
             d_p=d % (p - 1), d_q=d % (q - 1),
             q_inv=pow(q, -1, p),
         )
+        if seed is not None:
+            _seeded_cache[(bits, seed)] = key
+        return key
 
 
 def _pad_digest(h: bytes, size: int) -> int:

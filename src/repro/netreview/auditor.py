@@ -17,13 +17,13 @@ quantifying the privacy price.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from ..bgp.prefix import Prefix
-from ..bgp.route import NULL_ROUTE
+from ..bgp.route import NULL_ROUTE, Route
 from ..core.classes import ClassScheme
 from ..core.promise import Promise
-from ..core.verdict import FaultKind
+from ..core.verdict import DetectionRecord, FaultKind
 from ..spider.checkpoint import RoutingState, elector_view, replay
 from ..spider.log import EntryKind, SpiderLog
 
@@ -74,18 +74,74 @@ class NetReviewAuditor:
         self.scheme = scheme
 
     def audit(self, log: SpiderLog, audited: int, at_time: float,
-              promises: Dict[int, Promise]) -> AuditReport:
+              promises: Dict[int, Promise], *,
+              auditor_exports: Optional[Mapping[Prefix, Route]] = None,
+              participants: Optional[Iterable[int]] = None,
+              check_derivation: bool = False) -> AuditReport:
         """Replay the audited AS's log and check every promise directly.
 
         Unlike SPIDeR's checker, the auditor sees *all* inputs from all
         neighbors in the clear — that is the whole point of the
         comparison.
+
+        ``auditor_exports`` is the auditor's own logged view of what it
+        sent the audited AS; any prefix missing from the audited AS's
+        replayed imports is a swallowed message (NetReview's pairwise
+        log cross-check).  With ``check_derivation`` the auditor also
+        requires every exported route to be derived from some logged
+        import — the full-disclosure counterpart of §6.6: a path the
+        audited AS never received is fabricated.  ``participants``
+        bounds the derivation check to ASes whose logs exist (routes
+        first-hopping at a non-participant, e.g. an external route feed,
+        cannot be cross-checked).
         """
         report = AuditReport(auditor=self.asn, audited=audited,
                              at_time=at_time,
                              disclosed_bytes=disclosure_bytes(log))
         log.verify_chain()
         state: RoutingState = replay(log, audited, at_time)
+
+        if auditor_exports is not None:
+            logged_imports = state.imports.get(self.asn, {})
+            for prefix in sorted(auditor_exports):
+                if prefix not in logged_imports:
+                    report.findings.append(AuditFinding(
+                        auditor=self.asn, audited=audited, prefix=prefix,
+                        kind=FaultKind.MISSING_MESSAGE,
+                        description=(
+                            f"{prefix}: we announced this route to "
+                            f"AS{audited} but its disclosed log never "
+                            "received it")))
+
+        if check_derivation:
+            participant_set = set(participants) if participants \
+                is not None else None
+            import_paths = {
+                (prefix, route.as_path)
+                for table in state.imports.values()
+                for prefix, route in table.items()
+            }
+            for consumer in sorted(state.exports):
+                for prefix, route in sorted(state.exports[consumer]
+                                            .items()):
+                    underlying = elector_view(route, audited)
+                    if not underlying.as_path:
+                        continue
+                    first_hop = underlying.as_path[0]
+                    if first_hop == audited:
+                        continue  # originated here: nothing to derive
+                    if participant_set is not None and \
+                            first_hop not in participant_set:
+                        continue  # no log exists to check against
+                    if (prefix, underlying.as_path) not in import_paths:
+                        report.findings.append(AuditFinding(
+                            auditor=self.asn, audited=audited,
+                            prefix=prefix,
+                            kind=FaultKind.UNEXPECTED_MESSAGE,
+                            description=(
+                                f"{prefix}: path {underlying.as_path} "
+                                f"exported to AS{consumer} matches no "
+                                "logged import (fabricated path?)")))
 
         for prefix in sorted(state.known_prefixes()):
             report.prefixes_checked += 1
@@ -116,3 +172,16 @@ class NetReviewAuditor:
                             f"{self.scheme.labels[offer_class]!r}"
                         )))
         return report
+
+
+def detection_records(reports: Iterable[AuditReport]
+                      ) -> List[DetectionRecord]:
+    """Normalize audit findings into the cross-system detection shape."""
+    records: List[DetectionRecord] = []
+    for report in reports:
+        for finding in report.findings:
+            records.append(DetectionRecord(
+                system="netreview", detector=finding.auditor,
+                accused=finding.audited, kind=finding.kind,
+                source="audit", description=finding.description))
+    return records

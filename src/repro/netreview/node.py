@@ -11,12 +11,14 @@ minus MTT generation, about 5× lower) falls out of exactly this sharing.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from ..core.classes import ClassScheme
 from ..core.promise import Promise, total_order_promise
+from ..core.verdict import DetectionRecord, FaultKind
 from ..crypto.keys import KeyRegistry, make_identity
 from ..netsim.network import Network
+from ..spider.checkpoint import replay
 from ..spider.config import SpiderConfig
 from ..spider.log import EntryKind
 from ..spider.node import SPIDER_TRAFFIC
@@ -60,7 +62,9 @@ class NetReviewDeployment:
                  promise_factory:
                  Optional[Callable[[int, int], Promise]] = None,
                  scheme_factory:
-                 Optional[Callable[[int], ClassScheme]] = None):
+                 Optional[Callable[[int], ClassScheme]] = None,
+                 recorder_factories: Optional[
+                     Dict[int, Callable[..., NetReviewRecorder]]] = None):
         from ..spider.node import evaluation_scheme
         self.network = network
         self.config = config
@@ -85,7 +89,9 @@ class NetReviewDeployment:
                 for neighbor in network.topology.neighbors(asn)
             }
             self.promises[asn] = promises
-            recorder = NetReviewRecorder(
+            factory = (recorder_factories or {}).get(
+                asn, NetReviewRecorder)
+            recorder = factory(
                 identity=identities[asn], registry=self.registry,
                 scheme=self._scheme_for(asn), promises=promises,
                 config=config,
@@ -121,13 +127,30 @@ class NetReviewDeployment:
     # ------------------------------------------------------------------
 
     def audit(self, audited: int, auditor: int,
-              at_time: Optional[float] = None) -> AuditReport:
-        """One neighbor audits another by fetching its complete log."""
+              at_time: Optional[float] = None, *,
+              cross_check: bool = False,
+              check_derivation: bool = False) -> AuditReport:
+        """One neighbor audits another by fetching its complete log.
+
+        ``cross_check`` turns on the pairwise input cross-check: the
+        auditor compares its own logged exports toward the audited AS
+        against the audited AS's replayed imports — a swallowed message
+        cannot hide from both logs at once.  ``check_derivation`` makes
+        the auditor reject exported paths that match no logged import.
+        """
         recorder = self.recorders[audited]
         if at_time is None:
             at_time = self.network.sim.now
+        auditor_exports = None
+        if cross_check and auditor in self.recorders:
+            own_view = replay(self.recorders[auditor].log, auditor,
+                              at_time)
+            auditor_exports = own_view.exports.get(audited, {})
         report = NetReviewAuditor(auditor, recorder.scheme).audit(
-            recorder.log, audited, at_time, self.promises[audited])
+            recorder.log, audited, at_time, self.promises[audited],
+            auditor_exports=auditor_exports,
+            participants=self.recorders,
+            check_derivation=check_derivation)
         meter = self.network.meters.get(audited)
         if meter is not None:
             meter.record(AUDIT_TRAFFIC, report.disclosed_bytes,
@@ -135,7 +158,35 @@ class NetReviewDeployment:
         return report
 
     def audit_all_neighbors(self, audited: int,
-                            at_time: Optional[float] = None
+                            at_time: Optional[float] = None, *,
+                            cross_check: bool = False,
+                            check_derivation: bool = False
                             ) -> List[AuditReport]:
-        return [self.audit(audited, neighbor, at_time)
-                for neighbor in self.network.topology.neighbors(audited)]
+        return [self.audit(audited, neighbor, at_time,
+                           cross_check=cross_check,
+                           check_derivation=check_derivation)
+                for neighbor in self.network.topology.neighbors(audited)
+                if neighbor in self.recorders]
+
+    def sweep_overdue_acks(self) -> List[DetectionRecord]:
+        """The §6.2 T_max check on the shared substrate, NetReview side.
+
+        Same semantics as
+        :meth:`repro.spider.node.SpiderDeployment.sweep_overdue_acks`:
+        messages to ASes running no recorder are skipped.
+        """
+        records: List[DetectionRecord] = []
+        for asn in sorted(self.recorders):
+            accused_seen: set[int] = set()
+            for _message_hash, neighbor in \
+                    self.recorders[asn].overdue_acks():
+                if neighbor not in self.recorders or \
+                        neighbor in accused_seen:
+                    continue
+                accused_seen.add(neighbor)
+                records.append(DetectionRecord(
+                    system="netreview", detector=asn, accused=neighbor,
+                    kind=FaultKind.MISSING_MESSAGE, source="ack-sweep",
+                    description=(f"AS{neighbor} never acknowledged a "
+                                 "logged message (T_max exceeded)")))
+        return records

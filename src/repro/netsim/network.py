@@ -160,6 +160,22 @@ class Network:
         self._deliver(update)
 
     # ------------------------------------------------------------------
+    # Scheduled interventions (fault campaigns)
+
+    def schedule_fault(self, time: float, label: str,
+                       action: Callable[[], None]) -> None:
+        """Run ``action`` at simulated ``time`` — the injection hook for
+        adversarial campaigns (flip a policy, originate a prefix,
+        activate a misbehaving recorder) at a scheduled instant while
+        traffic is in flight.  ``label`` names the intervention for
+        reproducibility records; the network itself only schedules it.
+        """
+        if time < self.sim.now:
+            raise ValueError(
+                f"cannot schedule fault {label!r} in the past")
+        self.sim.at(time, action)
+
+    # ------------------------------------------------------------------
     # Execution
 
     def settle(self, max_events: int = 10_000_000) -> None:

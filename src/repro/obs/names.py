@@ -79,6 +79,13 @@ SOAK_SESSIONS = "soak_sessions"
 SOAK_MESSAGES_SENT_TOTAL = "soak_messages_sent_total"
 SOAK_ACKS_RECEIVED_TOTAL = "soak_acks_received_total"
 
+# -- adversarial campaigns (repro.faults.campaign) ---------------------
+CAMPAIGN_RUNS_TOTAL = "campaign_runs_total"
+CAMPAIGN_DETECTIONS_TOTAL = "campaign_detections_total"
+CAMPAIGN_FALSE_POSITIVES_TOTAL = "campaign_false_positives_total"
+CAMPAIGN_SECONDS = "campaign_seconds"
+CAMPAIGN_DISCLOSED_BYTES = "campaign_disclosed_bytes"
+
 # -- span names --------------------------------------------------------
 SPAN_COMMITMENT = "commitment"
 

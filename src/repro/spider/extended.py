@@ -144,6 +144,13 @@ def run_extended_verification(
                 continue  # elector-originated: no producer to back it
             producer = underlying.as_path[0] if underlying.as_path \
                 else None
+            if producer is not None and \
+                    producer not in deployment.nodes:
+                # §6.7 incremental deployment: a non-participating
+                # producer (e.g. a route-feed neighbor) sends no
+                # RE-ANNOUNCEs, so its routes cannot be checked — the
+                # guarantee covers the participating subset only.
+                continue
             backing = fresh.get(producer, {}).get(prefix)
             if backing is None or \
                     backing.route.to_bytes() != underlying.to_bytes():

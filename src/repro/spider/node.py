@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, \
 
 from ..bgp.prefix import Prefix
 from ..core.classes import ClassScheme, path_length_scheme
+from ..core.verdict import DetectionRecord, FaultKind
 from ..crypto.hashing import constant_time_eq
 from ..core.promise import Promise, total_order_promise
 from ..crypto.keys import Identity, KeyRegistry, make_identity
@@ -78,6 +79,9 @@ class SpiderNode:
         #: Commitments received from neighbors: (elector, time) → message.
         self.received_commitments: Dict[Tuple[int, float],
                                         SpiderCommitment] = {}
+        #: Faults this AS has attributed to a specific neighbor, in the
+        #: normalized shape the campaign oracle consumes.
+        self.detections: List[DetectionRecord] = []
 
     @property
     def asn(self) -> int:
@@ -97,6 +101,13 @@ class SpiderNode:
                 self.recorder.alarm(
                     "equivocation",
                     f"equivocating commitment from AS{message.elector}")
+                self.detections.append(DetectionRecord(
+                    system="spider", detector=self.asn,
+                    accused=message.elector,
+                    kind=FaultKind.EQUIVOCATION, source="commitment",
+                    description=(
+                        f"two roots for commitment at "
+                        f"t={message.commit_time}")))
             self.received_commitments[key] = message
             return
         self.recorder.receive(message)
@@ -297,6 +308,31 @@ class SpiderDeployment:
         return all(o.report.ok for o in outcomes)
 
     # ------------------------------------------------------------------
+    # Normalized detection reporting (for the fault-campaign oracle)
+
+    def sweep_overdue_acks(self) -> List[DetectionRecord]:
+        """Every participant's §6.2 T_max check, as detection records.
+
+        Messages to non-participants (e.g. phantom feed neighbors, which
+        run no SPIDeR and can never acknowledge) are outside the
+        detection guarantee and are skipped.
+        """
+        records: List[DetectionRecord] = []
+        for asn in sorted(self.nodes):
+            node = self.nodes[asn]
+            accused_seen: set[int] = set()
+            for _message_hash, neighbor in node.recorder.overdue_acks():
+                if neighbor not in self.nodes or neighbor in accused_seen:
+                    continue
+                accused_seen.add(neighbor)
+                records.append(DetectionRecord(
+                    system="spider", detector=asn, accused=neighbor,
+                    kind=FaultKind.MISSING_MESSAGE, source="ack-sweep",
+                    description=(f"AS{neighbor} never acknowledged a "
+                                 "SPIDeR message (T_max exceeded)")))
+        return records
+
+    # ------------------------------------------------------------------
     # The VERIFY broadcast cross-check (Section 4.5 over SPIDeR)
 
     def cross_check_commitments(
@@ -330,3 +366,17 @@ class SpiderDeployment:
                         poms.append(pom)
             seen_roots.setdefault(commitment.root, commitment)
         return poms
+
+
+def detection_records(outcomes: Iterable[VerificationOutcome]
+                      ) -> List[DetectionRecord]:
+    """Normalize promise-verification verdicts into detection records."""
+    records: List[DetectionRecord] = []
+    for outcome in outcomes:
+        for verdict in outcome.report.verdicts:
+            records.append(DetectionRecord(
+                system="spider", detector=outcome.neighbor,
+                accused=outcome.elector, kind=verdict.kind,
+                source="promise-verify",
+                description=verdict.description))
+    return records

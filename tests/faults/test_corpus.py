@@ -1,0 +1,65 @@
+"""Golden corpus replay: named campaigns with pinned verdicts.
+
+Each file under ``corpus/`` freezes one ``(seed, index)`` campaign —
+attack class, sampled spec, schedule digest, and the full differential
+verdict both systems produced.  Replaying it through the live engine
+must reproduce the entry *byte for byte*: the engine promises that a
+recorded seed is sufficient to reconstruct a run, and this suite is
+what holds it to that.
+
+A drifted golden is a behavior change in the engine, the adversaries,
+the detectors, or the samplers; regenerate deliberately with::
+
+    PYTHONPATH=src python -c "
+    from repro.faults.campaign import run_campaign; ..."
+
+and account for the diff in review.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.verdict import FaultKind
+from repro.faults.adversaries import ATTACK_CLASSES
+from repro.faults.campaign import run_campaign
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS_FILES) >= 10
+
+
+def test_corpus_covers_every_attack_class():
+    covered = {_load(path)["entry"]["attack"] for path in CORPUS_FILES}
+    assert covered == {cls().name for cls in ATTACK_CLASSES}
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES])
+def test_corpus_entries_are_well_formed(path):
+    doc = _load(path)
+    entry = doc["entry"]
+    assert doc["name"]
+    assert entry["ok"] and entry["problems"] == []
+    assert entry["schedule_digest"]
+    for record in entry["spider_detections"] + \
+            entry["netreview_detections"]:
+        FaultKind(record["kind"])  # every pinned kind must still exist
+        assert record["accused"] == entry["spec"]["position"]
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES])
+def test_corpus_replays_identically(path):
+    golden = _load(path)["entry"]
+    replayed = run_campaign(golden["seed"], golden["index"])
+    assert replayed == golden

@@ -38,6 +38,9 @@ GOLDEN_NAMES = sorted([
     "store_segment_rotations_total", "store_reclaimed_bytes_total",
     "store_recovery_seconds", "store_recovered_records_total",
     "store_torn_bytes_total",
+    "campaign_runs_total", "campaign_detections_total",
+    "campaign_false_positives_total", "campaign_seconds",
+    "campaign_disclosed_bytes",
     "commitment",
 ])
 

@@ -27,10 +27,9 @@ from hypothesis import given, settings, strategies as st
 import repro
 from repro.runtime import codec
 from repro.runtime.logdump import decode_log_entry, encode_log_entry
-from repro.spider.checkpoint import RoutingState
 from repro.spider.log import EntryKind, LogEntry
-from tests.runtime.test_codec_roundtrip import acks, announces, \
-    bit_proofs, commitments, prefixes, routes, withdraws
+from tests.strategies import acks, announces, bit_proofs, commitments, \
+    commitment_payloads, prefixes, routes, routing_states, withdraws
 
 # ----------------------------------------------------------------------
 # Discovery
@@ -192,28 +191,9 @@ def test_codec_truncation_per_type(name, data):
 # Corruption properties (canonical log-entry encoding, per EntryKind)
 #
 # Same enumerated-coverage construction as above: every EntryKind must
-# have a payload strategy, so adding a kind without extending the
-# durable-store encoding fails the registry test here.
-
-
-@st.composite
-def routing_states(draw):
-    state = RoutingState()
-    for table in (state.imports, state.exports):
-        for _ in range(draw(st.integers(0, 2))):
-            neighbor = draw(st.integers(1, 65535))
-            route = draw(routes())
-            table.setdefault(neighbor, {})[route.prefix] = route
-    state.origins = set(draw(st.lists(prefixes(), max_size=2)))
-    return state
-
-
-def commitment_payloads():
-    return st.fixed_dictionaries({
-        "seed": st.binary(min_size=0, max_size=32),
-        "root": st.binary(min_size=0, max_size=32),
-    })
-
+# have a payload strategy (in tests.strategies), so adding a kind
+# without extending the durable-store encoding fails the registry test
+# here.
 
 ENTRY_STRATEGIES = {
     EntryKind.SENT_ANNOUNCE: announces(),

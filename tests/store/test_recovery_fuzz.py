@@ -23,20 +23,28 @@ from repro.obs.registry import Registry
 from repro.spider.log import EntryKind, SpiderLog, TamperError
 from repro.store import SegmentedLogStore, StoreCorruptionError, recover
 from repro.store.segment import FRAME_OVERHEAD, HEADER_SIZE
+from tests.strategies import commitment_payloads
 
 SEGMENT_BYTES = 192  # tiny: a handful of commitment records per file
 
 
-def build_store(directory, n, fsync="batch"):
+def build_store(directory, n, fsync="batch", payloads=None):
     """``n`` chained commitment entries over small segments; returns
-    the in-memory entries (ground truth) with the store left open."""
+    the in-memory entries (ground truth) with the store left open.
+
+    ``payloads`` optionally supplies the commitment payload for each
+    entry (drawn from :func:`tests.strategies.commitment_payloads` in
+    the property tests); by default a fixed deterministic shape is
+    used.
+    """
     store = SegmentedLogStore(str(directory), fsync=fsync,
                               segment_bytes=SEGMENT_BYTES,
                               registry=Registry())
     log = SpiderLog(retention_seconds=1e9, sink=store)
     for i in range(n):
-        log.append(float(i), EntryKind.COMMITMENT,
-                   {"seed": bytes(20), "root": b"root-%04d" % i}, 32)
+        payload = payloads[i] if payloads is not None else \
+            {"seed": bytes(20), "root": b"root-%04d" % i}
+        log.append(float(i), EntryKind.COMMITMENT, payload, 32)
     return store, list(log)
 
 
@@ -155,6 +163,24 @@ def test_bitflip_in_final_segment_yields_prefix_or_fails(
     # the intact prefix — never reordered, never fabricated.
     assert recovery.entries == entries[:len(recovery.entries)]
     assert len(recovery.entries) < n
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_arbitrary_payloads_roundtrip_through_recovery(tmp_path_factory,
+                                                       data):
+    """Recovery is payload-agnostic: drawn commitment payloads (shared
+    strategy with the encoding fuzz) survive a close/reopen exactly."""
+    directory = tmp_path_factory.mktemp("payloads")
+    n = data.draw(st.integers(min_value=1, max_value=10))
+    payloads = [data.draw(commitment_payloads()) for _ in range(n)]
+    store, entries = build_store(directory, n, payloads=payloads)
+    store.close()
+    recovery = recover(SegmentedLogStore(str(directory),
+                                         segment_bytes=SEGMENT_BYTES,
+                                         registry=Registry()))
+    assert recovery.entries == entries
+    assert [e.payload for e in recovery.entries] == payloads
 
 
 def test_crc_fixup_tampering_breaks_the_chain(tmp_path):
