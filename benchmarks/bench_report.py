@@ -7,20 +7,31 @@ regressions are diffable:
 * serial labeling (cold = first round, building the flattened schedule;
   steady = schedule cached, the per-commitment-round cost);
 * per-node labeling cost in nanoseconds;
-* real worker-pool wall clock at c ∈ {1, 2, 4, 8}
-  (:func:`repro.mtt.labeling.label_tree_parallel`); on a box with a
-  single core the pool cannot beat serial — ``cores`` is recorded so the
-  numbers can be interpreted;
+* the *warm* shared-memory worker pool at c ∈ {1, 2, 4, 8}
+  (:class:`repro.mtt.pool.LabelPool` via
+  :func:`repro.mtt.labeling.label_tree_parallel`), reporting one-time
+  spin-up (worker spawn + program install) separately from steady-state
+  rounds — conflating the two is what made the pre-warm-pool numbers
+  misleading; on a box with a single core the pool cannot beat serial —
+  ``cores`` is recorded so the numbers can be interpreted;
+* a ``trajectory`` block (seed → PR 1 → current, measured on the
+  original bench box) so the labeling story is diffable at a glance;
 * proof-generator reconstruction cache hit rate for a batch of
   verifications against one commitment.
 
-The ``seed_baseline`` block is the measurement taken on this machine at
-the pre-optimization commit (4cfa4fc) with the same workload, kept
-hardcoded for before/after comparison.
+CI runs ``--quick --check-against BENCH_commit.json``: a fast pass that
+fails if (a) serial steady-state cost per node regresses back to the
+seed baseline (ns/node is box-sensitive but the seed ran on a
+comparable-or-faster box, so this is a loose no-regression floor), or
+(b) on a runner with ≥ 4 cores, the warm pool at 4 workers is slower
+than serial in the same run — the exact regression this PR fixes, and a
+same-box comparison so it is machine-independent.  Quick mode writes no
+files.
 
 Run with ``PYTHONPATH=src python benchmarks/bench_report.py``.
 """
 
+import argparse
 import json
 import os
 import sys
@@ -31,6 +42,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.crypto.rc4 import Rc4Csprng  # noqa: E402
 from repro.harness.experiments import run_replay_experiment  # noqa: E402
 from repro.mtt.labeling import label_tree, label_tree_parallel  # noqa: E402
+from repro.mtt.pool import LabelPool  # noqa: E402
 from repro.mtt.tree import Mtt  # noqa: E402
 from repro.obs.export import snapshot  # noqa: E402
 from repro.obs.registry import Registry, use_registry  # noqa: E402
@@ -47,27 +59,54 @@ SEED_BASELINE = {
     "label_ns_per_node": 6275.8,
 }
 
+#: The labeling story so far, measured on the original bench box (one
+#: core — pool numbers there show overhead, not speedup).  PR 1's pool
+#: spawned a fresh ProcessPoolExecutor and pickled per-subtree op lists
+#: every round, so its per-round "seconds" include what is now split
+#: out as spin-up; the warm pool pays spawn+install once instead.
+TRAJECTORY_HISTORY = {
+    "seed": {
+        "serial_steady_seconds": 1.052,
+        "pool": None,
+        "note": "pre-optimization; no worker pool",
+    },
+    "pr1": {
+        "serial_steady_seconds": 0.4576,
+        "pool_seconds_per_round": {"2": 0.9732, "4": 0.9849,
+                                   "8": 1.2276},
+        "note": "cold ProcessPoolExecutor + pickled op lists every "
+                "round — workers were a regression at any width",
+    },
+}
 
-def build_tree() -> Mtt:
-    prefixes = generate_prefixes(N_PREFIXES, seed=7)
-    entries = {p: [1] * K for p in prefixes}
+
+def build_tree(n_prefixes: int, k: int) -> Mtt:
+    prefixes = generate_prefixes(n_prefixes, seed=7)
+    entries = {p: [1] * k for p in prefixes}
     return Mtt.build(entries)
 
 
-def measure_serial(tree: Mtt) -> dict:
+def measure_serial(tree: Mtt, steady_rounds: int) -> dict:
     start = time.perf_counter()
     label_tree(tree, Rc4Csprng(b"bench-cold"))
     cold = time.perf_counter() - start
     steady = []
-    for i in range(STEADY_ROUNDS):
+    hash_steady = []
+    for i in range(steady_rounds):
         start = time.perf_counter()
-        label_tree(tree, Rc4Csprng(b"bench-%d" % i))
+        round_report = label_tree(tree, Rc4Csprng(b"bench-%d" % i))
         steady.append(time.perf_counter() - start)
+        hash_steady.append(round_report.seconds)
     total = tree.census().total
     best = min(steady)
     return {
         "cold_seconds": round(cold, 4),
+        # Full round: CSPRNG randomness draw (inherently serial; §6.5
+        # replay fixes its order) + the hash pass.
         "steady_seconds": round(best, 4),
+        # Hash pass alone — the part the worker pool parallelizes; pool
+        # steady_seconds below are measured on the same phase.
+        "steady_hash_seconds": round(min(hash_steady), 4),
         "steady_ns_per_node": round(best / total * 1e9, 1),
         "speedup_vs_seed_steady": round(
             SEED_BASELINE["label_total_seconds"] / best, 2),
@@ -76,18 +115,51 @@ def measure_serial(tree: Mtt) -> dict:
     }
 
 
-def measure_pool(tree: Mtt) -> dict:
-    out = {}
-    for width in POOL_WIDTHS:
-        start = time.perf_counter()
-        report = label_tree_parallel(tree, Rc4Csprng(b"bench-pool"),
-                                     workers=width)
-        wall = time.perf_counter() - start  # randomness + hash + pool
-        out[str(width)] = {
-            "seconds": round(wall, 4),
-            "mode": report.mode,
-            "jobs": report.jobs,
-        }
+def measure_pool(tree: Mtt, widths, steady_rounds: int) -> dict:
+    """Warm-pool steady state per width, spin-up split out.
+
+    Every width labels with the same seed once ("bench-pool") so the
+    byte-identical-roots criterion is checked *in the benchmark*, not
+    just in tests; the remaining rounds vary the seed like real
+    commitment rounds do.
+    """
+    golden = label_tree(tree, Rc4Csprng(b"bench-pool")).root_label
+    out = {"golden_root": golden.hex()}
+    for width in widths:
+        if width == 1:
+            report = label_tree_parallel(tree, Rc4Csprng(b"bench-pool"),
+                                         workers=1)
+            out[str(width)] = {
+                "steady_seconds": round(report.seconds, 4),
+                "spinup_seconds": 0.0,
+                "mode": report.mode,
+                "jobs": report.jobs,
+                "root_matches_serial":
+                    report.root_label == golden,
+            }
+            continue
+        pool = LabelPool(width)
+        try:
+            first = label_tree_parallel(
+                tree, Rc4Csprng(b"bench-pool"), workers=width,
+                pool=pool)
+            steady = []
+            for i in range(steady_rounds):
+                report = label_tree_parallel(
+                    tree, Rc4Csprng(b"bench-%d" % i), workers=width,
+                    pool=pool)
+                steady.append(report.seconds)
+            out[str(width)] = {
+                "steady_seconds": round(min(steady), 4),
+                # one-time: worker spawn + shared-memory program install
+                "spinup_seconds": round(
+                    pool.spinup_seconds + first.spinup_seconds, 4),
+                "mode": first.mode,
+                "jobs": first.jobs,
+                "root_matches_serial": first.root_label == golden,
+            }
+        finally:
+            pool.close()
     return out
 
 
@@ -101,40 +173,151 @@ def measure_cache_hit_rate(neighbors: int = 8) -> float:
     commit_time = node.recorder.commitments[-1].commit_time
     for _ in range(neighbors):  # one reconstruction request per neighbor
         gen.reconstruct(commit_time)
+    node.close()
     return gen.cache_hit_rate
 
 
+def check_against(report: dict, path: str) -> int:
+    """The CI bench-smoke gate; returns a process exit status.
+
+    Two machine-robust checks:
+
+    * serial guard — steady ns/node must stay below the committed seed
+      baseline (the measurement this repo started from; being slower
+      than that means the optimization work regressed outright);
+    * pool guard (≥ 4 cores only) — the warm pool at 4 workers must not
+      be slower than serial *in the same run*.  Same box, same workload,
+      same process: if this fails, the parallel-labeling regression is
+      back.
+    """
+    with open(path) as handle:
+        committed = json.load(handle)
+    seed_floor = committed["seed_baseline"]["label_ns_per_node"]
+    measured_ns = report["serial"]["steady_ns_per_node"]
+    serial_ok = measured_ns <= seed_floor
+    cores = report["cores"] or 1
+    verdict = {
+        "serial_ns_per_node": measured_ns,
+        "seed_baseline_ns_per_node": seed_floor,
+        "serial_ok": serial_ok,
+        "cores": cores,
+    }
+    pool_ok = True
+    pool4 = report["pool"].get("4")
+    if cores >= 4 and pool4 is not None and pool4["mode"] == "process":
+        # Hash phase vs hash phase: the randomness draw is serial in
+        # every mode, so it is excluded from both sides.
+        serial_hash = report["serial"]["steady_hash_seconds"]
+        pool_ok = pool4["steady_seconds"] <= serial_hash
+        verdict.update({
+            "pool4_steady_seconds": pool4["steady_seconds"],
+            "serial_steady_hash_seconds": serial_hash,
+            "pool4_speedup": round(
+                serial_hash / pool4["steady_seconds"], 2)
+            if pool4["steady_seconds"] else None,
+            "pool_ok": pool_ok,
+        })
+    else:
+        verdict["pool_check"] = (
+            f"skipped: {cores} core(s), "
+            f"mode={pool4['mode'] if pool4 else 'unmeasured'}")
+    roots_ok = all(entry.get("root_matches_serial", True)
+                   for entry in report["pool"].values()
+                   if isinstance(entry, dict))
+    verdict["roots_ok"] = roots_ok
+    verdict["ok"] = serial_ok and pool_ok and roots_ok
+    print(json.dumps({"check_against": verdict}, indent=2))
+    if not serial_ok:
+        print(f"FAIL: serial steady {measured_ns:.1f} ns/node regressed "
+              f"past the seed baseline {seed_floor:.1f}",
+              file=sys.stderr)
+    if not pool_ok:
+        print("FAIL: warm pool at 4 workers is slower than serial on a "
+              f"{cores}-core box — the parallel-labeling regression is "
+              "back", file=sys.stderr)
+    if not roots_ok:
+        print("FAIL: a pool mode produced a root differing from serial",
+              file=sys.stderr)
+    return 0 if verdict["ok"] else 1
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="commitment-path benchmark")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced workload and rounds, no cache measurement, no "
+             "file writes — the CI smoke configuration")
+    parser.add_argument(
+        "--check-against", metavar="PATH",
+        help="verify serial/pool guards against a committed "
+             "BENCH_commit.json (exit 1 on regression)")
+    args = parser.parse_args()
+    if args.quick:
+        n_prefixes, k, steady_rounds = 600, 50, 2
+        widths = (1, 4)
+    else:
+        n_prefixes, k, steady_rounds = N_PREFIXES, K, STEADY_ROUNDS
+        widths = POOL_WIDTHS
+
     # The whole run reports into a fresh obs registry, whose snapshot is
     # written next to the BENCH json for cost attribution
     # (``python -m repro.obs.dump --snapshot BENCH_commit_obs.json``).
     with use_registry(Registry()) as registry:
-        tree = build_tree()
+        tree = build_tree(n_prefixes, k)
         census = tree.census()
         report = {
             "workload": {
-                "n_prefixes": N_PREFIXES,
-                "k": K,
+                "n_prefixes": n_prefixes,
+                "k": k,
                 "nodes_total": census.total,
                 "hashes_per_round":
                     census.bit + census.prefix + census.inner,
             },
             "cores": os.cpu_count(),
             "seed_baseline": SEED_BASELINE,
-            "serial": measure_serial(tree),
-            "pool": measure_pool(tree),
-            "proofgen_cache_hit_rate": round(measure_cache_hit_rate(), 4),
+            "serial": measure_serial(tree, steady_rounds),
+            "pool": measure_pool(tree, widths, steady_rounds),
         }
+        report["trajectory"] = dict(
+            TRAJECTORY_HISTORY,
+            current={
+                "serial_steady_seconds":
+                    report["serial"]["steady_seconds"],
+                "serial_steady_hash_seconds":
+                    report["serial"]["steady_hash_seconds"],
+                "pool_steady_seconds": {
+                    key: value["steady_seconds"]
+                    for key, value in report["pool"].items()
+                    if isinstance(value, dict)},
+                "pool_spinup_seconds": {
+                    key: value["spinup_seconds"]
+                    for key, value in report["pool"].items()
+                    if isinstance(value, dict)},
+                "note": "warm shared-memory pool; spin-up paid once "
+                        "per deployment, not per round",
+            })
+        if not args.quick:
+            report["proofgen_cache_hit_rate"] = round(
+                measure_cache_hit_rate(), 4)
         obs_snapshot = snapshot(registry)
-    root = os.path.join(os.path.dirname(__file__), "..")
-    with open(os.path.join(root, "BENCH_commit.json"), "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    with open(os.path.join(root, "BENCH_commit_obs.json"), "w") as handle:
-        json.dump(obs_snapshot, handle, indent=2)
-        handle.write("\n")
+
+    status = 0
+    if args.check_against:
+        status = check_against(report, args.check_against)
+    if not args.quick:
+        root = os.path.join(os.path.dirname(__file__), "..")
+        with open(os.path.join(root, "BENCH_commit.json"),
+                  "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        with open(os.path.join(root, "BENCH_commit_obs.json"),
+                  "w") as handle:
+            json.dump(obs_snapshot, handle, indent=2)
+            handle.write("\n")
     json.dump(report, sys.stdout, indent=2)
     print()
+    sys.exit(status)
 
 
 if __name__ == "__main__":

@@ -228,9 +228,12 @@ class LabelingResult:
     flat_seconds: float
     makespans: Dict[int, float]  # workers → modeled seconds
     hash_count: int
-    #: workers → measured wall-clock of a real pool run (only populated
-    #: when ``pool_workers`` was requested).
+    #: workers → measured steady-state wall-clock of a real pool run —
+    #: hash phase only, spawn/install split into ``pool_spinup_seconds``
+    #: (only populated when ``pool_workers`` was requested).
     pool_seconds: Dict[int, float] = field(default_factory=dict)
+    #: workers → one-time pool spawn + program install cost.
+    pool_spinup_seconds: Dict[int, float] = field(default_factory=dict)
     #: pool mode actually used ("process" or "thread"), "" if unmeasured.
     pool_mode: str = ""
 
@@ -269,6 +272,7 @@ def labeling_experiment(n_prefixes: int = 2000, k: int = 50,
         if report.root_label != flat.root_label:
             raise RuntimeError("model labeling diverged from serial")
     pool_seconds: Dict[int, float] = {}
+    pool_spinup_seconds: Dict[int, float] = {}
     pool_mode = ""
     for c in pool_workers:
         tree_c = Mtt.build(entries)
@@ -277,6 +281,7 @@ def labeling_experiment(n_prefixes: int = 2000, k: int = 50,
         if pool.root_label != flat.root_label:
             raise RuntimeError("pool labeling diverged from serial")
         pool_seconds[c] = pool.seconds
+        pool_spinup_seconds[c] = pool.spinup_seconds
         if pool.mode != "serial":
             pool_mode = pool.mode
     return LabelingResult(n_prefixes=n_prefixes, k=k,
@@ -285,6 +290,7 @@ def labeling_experiment(n_prefixes: int = 2000, k: int = 50,
                           makespans=makespans,
                           hash_count=flat.hash_count,
                           pool_seconds=pool_seconds,
+                          pool_spinup_seconds=pool_spinup_seconds,
                           pool_mode=pool_mode)
 
 

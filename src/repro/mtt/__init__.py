@@ -14,6 +14,7 @@ from .labeling import LabelingReport, ParallelLabelReport, \
     parallel_labeling_report
 from .nodes import BitNode, DummyNode, EDGE_END, EDGE_ONE, EDGE_ZERO, \
     EDGES, InnerNode, MttNode, PrefixNode, validate_structure
+from .pool import LabelPool, PoolBrokenError, RoundResult, subtree_jobs
 from .proofs import LabelDigestCache, MttBitProof, PathStep, ProofError, \
     generate_proof, verify_proof
 from .stats import PAPER_CENSUS, PAPER_MTT_BYTES, ScaleComparison, \
@@ -29,6 +30,7 @@ __all__ = [
     "parallel_labeling_report",
     "BitNode", "DummyNode", "EDGE_END", "EDGE_ONE", "EDGE_ZERO", "EDGES",
     "InnerNode", "MttNode", "PrefixNode", "validate_structure",
+    "LabelPool", "PoolBrokenError", "RoundResult", "subtree_jobs",
     "LabelDigestCache", "MttBitProof", "PathStep", "ProofError",
     "generate_proof", "verify_proof",
     "PAPER_CENSUS", "PAPER_MTT_BYTES", "ScaleComparison",

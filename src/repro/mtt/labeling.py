@@ -16,16 +16,16 @@ rounds, so the per-round loops carry no isinstance dispatch and no
 repeated traversal.
 
 The paper's prototype labels subtrees on ``c`` commitment threads
-(Section 7.1).  :func:`label_tree_parallel` reproduces this for real: the
-MTT is cut into independent subtrees at a configurable depth and labeled
-on ``c`` workers via :mod:`concurrent.futures` — a process pool for
-genuine multi-core speedup (each worker receives a compact post-order
-program of hash operations and returns the labels, sidestepping both the
-GIL and the cost of pickling node graphs), with a thread-pool fallback
-where subprocesses are unavailable.  Because all randomness is assigned
-serially up front and every label is a pure function of its subtree,
-parallel, serial, and single-threaded labeling produce byte-identical
-roots from the same seed (tested).
+(Section 7.1).  :func:`label_tree_parallel` reproduces this for real via
+:class:`~repro.mtt.pool.LabelPool`: a *warm* pool of worker processes
+sharing the tree's flat hash program and label slots through
+``multiprocessing.shared_memory``, so steady-state rounds move a few
+control bytes per worker instead of pickled subtrees (see
+:mod:`repro.mtt.pool` for the buffer layout and failure model).  Because
+all randomness is assigned serially up front and every label is a pure
+function of its subtree, pool, thread-fallback, serial, and
+failure-fallback labeling produce byte-identical labels on every node
+from the same seed (property-tested).
 
 :func:`parallel_labeling_report` is retained as a *model* cross-check: it
 measures real per-subtree labeling times and reports the makespan of a
@@ -39,13 +39,13 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, \
-    Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from ..crypto.hashing import DIGEST_SIZE, bit_commitment, digest_concat
 from ..crypto.rc4 import Rc4Csprng
 from ..obs.registry import get_registry
-from .nodes import BitNode, DummyNode, InnerNode, MttNode, PrefixNode
+from .nodes import BitNode, DummyNode, MttNode, PrefixNode
+from .pool import LabelPool, PoolBrokenError, subtree_jobs
 from .tree import Mtt
 
 
@@ -74,26 +74,40 @@ def assign_randomness(tree: Mtt, csprng: Rc4Csprng) -> None:
     order (one blocked CSPRNG draw for the whole tree), then invalidates
     every previously computed label.
     """
-    schedule = tree.schedule()
-    plan = schedule.rand_plan
+    _assign_randomness_fast(tree, csprng)
+    for node in tree.schedule().reset_nodes:
+        node.label = None
+
+
+def _assign_randomness_fast(tree: Mtt,
+                            csprng: Rc4Csprng) -> List[bytes]:
+    """Randomness assignment without the label-reset pass.
+
+    Safe whenever the follow-up labeling overwrites every bit and
+    interior label unconditionally — true of the serial hash pass, the
+    pool, the thread fallback, and the failure fallback — where
+    invalidation would be pure overhead.  Returns the drawn bitstrings
+    in plan order so the pool can scatter them into its label buffer
+    without re-reading the node attributes.
+    """
+    plan = tree.schedule().rand_plan
     strings = csprng.bitstrings(len(plan))
     for (node, is_dummy), string in zip(plan, strings):
         if is_dummy:
             node.label = string
         else:
             node.blinding = string
-    for node in schedule.reset_nodes:
-        node.label = None
+    return strings
 
 
 def compute_label(node: MttNode) -> bytes:
     """Compute (and cache) the Merkle label of a subtree.
 
     Generic iterative post-order traversal, used for arbitrary subtrees
-    (the parallel merge step and tests).  Whole-tree labeling goes
-    through :func:`label_tree`, which runs over the flattened schedule
-    instead.  Interior nodes that already carry a label are skipped, so
-    the parallel merge only pays for the unlabeled upper nodes.
+    (model cross-checks and tests).  Whole-tree labeling goes through
+    :func:`label_tree`, which runs over the flattened schedule instead.
+    Interior nodes that already carry a label are skipped, so partial
+    relabeling only pays for the unlabeled upper nodes.
     """
     stack: List[Tuple[MttNode, bool]] = [(node, False)]
     while stack:
@@ -119,7 +133,7 @@ def compute_label(node: MttNode) -> bytes:
                 *[child.label for child in children])
             continue
         if current.label is not None:
-            continue  # subtree already labeled (parallel job merge)
+            continue  # subtree already labeled (partial relabel)
         stack.append((current, True))
         if kind is PrefixNode:
             stack.extend((b, False) for b in current.bit_nodes)
@@ -135,7 +149,10 @@ def _hash_pass(tree: Mtt) -> bytes:
     Inlines H (SHA-512 truncated to :data:`DIGEST_SIZE`, identical to
     :func:`repro.crypto.hashing.digest`) so each node costs one hash
     call; the determinism tests pin this path to the generic
-    :func:`compute_label` traversal byte for byte.
+    :func:`compute_label` traversal byte for byte.  This is also the
+    recovery path when a worker pool breaks mid-round: the tree's
+    randomness is already in place, so one serial pass always restores
+    a fully labeled tree.
     """
     schedule = tree.schedule()
     sha = hashlib.sha512
@@ -162,15 +179,7 @@ class LabelingReport:
 def label_tree(tree: Mtt, csprng: Rc4Csprng) -> LabelingReport:
     """Assign randomness and label the whole tree, timing the hash work."""
     schedule = tree.schedule()
-    # Inline randomness assignment without the label-reset pass: the
-    # hash pass below overwrites every bit and interior label
-    # unconditionally, so invalidation would be pure overhead here.
-    strings = csprng.bitstrings(len(schedule.rand_plan))
-    for (node, is_dummy), string in zip(schedule.rand_plan, strings):
-        if is_dummy:
-            node.label = string
-        else:
-            node.blinding = string
+    _assign_randomness_fast(tree, csprng)
     census = schedule.counts
     start = time.perf_counter()
     root_label = _hash_pass(tree)
@@ -185,119 +194,67 @@ def label_tree(tree: Mtt, csprng: Rc4Csprng) -> LabelingReport:
 # ----------------------------------------------------------------------
 # Real parallel labeling (the paper's c commitment threads, §7.1)
 
-#: Op kinds of the compact subtree program shipped to workers.
-_OP_DUMMY, _OP_BIT, _OP_INTERIOR = 0, 1, 2
-
-
-def _encode_subtree(root: MttNode
-                    ) -> Tuple[List[Tuple[int, Any]], List[MttNode]]:
-    """Flatten one subtree into a picklable post-order hash program.
-
-    Returns ``(ops, nodes)``: ``ops[i]`` describes how to compute the
-    label of ``nodes[i]`` — a dummy's precomputed label, a bit node's
-    ``(bit, blinding)``, or an interior node's child indices (children
-    always precede parents).  Workers never see node objects, only this
-    program, which keeps pickling cost linear in the randomness size.
-    """
-    ops: List[Tuple[int, Any]] = []
-    nodes: List[MttNode] = []
-    index: Dict[int, int] = {}
-    work: List[Tuple[MttNode, Optional[Tuple[MttNode, ...]]]] = \
-        [(root, None)]
-    while work:
-        node, children = work.pop()
-        kind = type(node)
-        if kind is DummyNode:
-            if node.label is None:
-                raise RuntimeError("dummy node has no label; call "
-                                   "assign_randomness first")
-            index[id(node)] = len(ops)
-            ops.append((_OP_DUMMY, node.label))
-            nodes.append(node)
-            continue
-        if kind is BitNode:
-            if node.blinding is None:
-                raise RuntimeError("bit node has no blinding; call "
-                                   "assign_randomness first")
-            index[id(node)] = len(ops)
-            ops.append((_OP_BIT, (node.bit, node.blinding)))
-            nodes.append(node)
-            continue
-        if children is not None:
-            index[id(node)] = len(ops)
-            ops.append((_OP_INTERIOR,
-                        tuple(index[id(c)] for c in children)))
-            nodes.append(node)
-            continue
-        if kind is PrefixNode:
-            kids: Tuple[MttNode, ...] = tuple(node.bit_nodes)
-        else:
-            kids = tuple(c for c in node.children if c is not None)
-        work.append((node, kids))
-        work.extend((c, None) for c in kids)
-    return ops, nodes
-
-
-def _label_ops(ops: List[Tuple[int, Any]]) -> List[bytes]:
-    """Execute one subtree hash program; runs inside worker processes.
-
-    Inlines H (SHA-512 truncated to :data:`DIGEST_SIZE`, matching
-    :func:`repro.crypto.hashing.digest`) so the per-op cost is one hash
-    call; the determinism tests pin worker output to the serial path.
-    """
-    sha = hashlib.sha512
-    size = DIGEST_SIZE
-    one, zero = b"\x01", b"\x00"
-    join = b"".join
-    labels: List[bytes] = []
-    append = labels.append
-    for kind, payload in ops:
-        if kind == _OP_DUMMY:
-            append(payload)
-        elif kind == _OP_BIT:
-            bit, blinding = payload
-            append(sha((one if bit else zero) + blinding)
-                   .digest()[:size])
-        else:
-            append(sha(join([labels[i] for i in payload]))
-                   .digest()[:size])
-    return labels
-
 
 @dataclass(frozen=True)
 class ParallelLabelReport:
-    """Result of a real multi-worker labeling run."""
+    """Result of a real multi-worker labeling run.
+
+    ``seconds`` is the steady-state hash phase only; one-time costs —
+    pool spawn when this call created its own pool, plus installing a
+    new tree shape into shared memory — are reported separately as
+    ``spinup_seconds`` so repeated rounds on a warm pool are comparable
+    to the serial path (conflating the two is exactly what made the
+    pre-warm-pool benchmark numbers misleading).
+    """
 
     root_label: bytes
     workers: int
-    seconds: float  # wall clock of the hash phase, pool overhead included
+    seconds: float  # steady-state hash phase (dispatch + hashing + merge)
     hash_count: int
-    mode: str  # "process" | "thread" | "serial"
+    mode: str  # "process" | "thread" | "serial" | "serial-fallback"
     jobs: int
+    spinup_seconds: float = 0.0  # pool spawn + program install, this call
 
 
 def label_tree_parallel(tree: Mtt, csprng: Rc4Csprng, workers: int,
                         cut_depth: int = 4,
                         prefer_processes: bool = True,
+                        pool: Optional[LabelPool] = None,
+                        materialize: bool = True,
                         ) -> ParallelLabelReport:
     """Assign randomness serially, then label subtrees on ``c`` workers.
 
     The tree is partitioned into independent subtrees ``cut_depth``
-    branch levels below the root; each worker labels whole subtrees and
-    the (small) remainder above the cut is merged serially, exactly as
-    the paper splits "the MTT into subtrees that are each labeled
-    completely by one of the threads" (§7.1).  Labels land on the same
-    node objects serial labeling would have written, so proof generation
-    is oblivious to how the tree was labeled.
+    branch levels below the root; each worker labels whole subtrees in
+    shared memory and the (small) remainder above the cut is merged
+    in-process, exactly as the paper splits "the MTT into subtrees that
+    are each labeled completely by one of the threads" (§7.1).  Labels
+    land on the same node objects serial labeling would have written, so
+    proof generation is oblivious to how the tree was labeled.  Set
+    ``materialize=False`` when only the root is consumed (the recorder
+    discards the commitment tree right after taking the root): the
+    per-node copy-back is skipped, which removes most of the pool's
+    serial overhead.
+
+    Pass a warm :class:`~repro.mtt.pool.LabelPool` (the recorder owns
+    one sized to ``SpiderConfig.commit_workers``) to amortize worker
+    spawn across rounds; without one, an ephemeral pool is created and
+    torn down, and its spawn cost shows up in ``spinup_seconds``.
+
+    If the pool breaks mid-round (worker OOM-killed, crashed, or
+    unresponsive) the round falls back to a serial relabel — the tree's
+    randomness was assigned up front and is never touched by workers,
+    so the fallback yields byte-identical labels (mode
+    ``"serial-fallback"``); the caller should discard the broken pool.
     """
     if workers < 1:
         raise ValueError("need at least one worker")
-    assign_randomness(tree, csprng)
+    rand_values = _assign_randomness_fast(tree, csprng)
     census = tree.schedule().counts
     hashes = census.bit + census.prefix + census.inner
 
-    start = time.perf_counter()
-    if workers == 1:
+    if workers == 1 and pool is None:
+        start = time.perf_counter()
         root_label = _hash_pass(tree)
         seconds = time.perf_counter() - start
         _observe_labeling("serial", seconds, hashes, jobs=1, workers=1)
@@ -305,64 +262,63 @@ def label_tree_parallel(tree: Mtt, csprng: Rc4Csprng, workers: int,
             root_label=root_label, workers=1, seconds=seconds,
             hash_count=hashes, mode="serial", jobs=1)
 
-    jobs = _top_level_jobs(tree, cut_depth)
-    tasks = [_encode_subtree(job) for job in jobs]
-    mode = _run_pool(tasks, workers, prefer_processes)
-    root_label = compute_label(tree.root)  # merge the upper remainder
-    seconds = time.perf_counter() - start
-    _observe_labeling(mode, seconds, hashes, jobs=len(jobs),
-                      workers=workers)
+    own_pool = pool is None
+    if own_pool:
+        pool = LabelPool(workers, prefer_processes=prefer_processes)
+    assert pool is not None
+    spinup_seconds = pool.spinup_seconds if own_pool else 0.0
+    try:
+        start = time.perf_counter()
+        result = pool.label(tree, cut_depth, rand_values=rand_values,
+                            materialize=materialize)
+        elapsed = time.perf_counter() - start
+        spinup_seconds += result.install_seconds
+        seconds = max(0.0, elapsed - result.install_seconds)
+        mode = pool.mode
+        jobs = result.jobs
+        root_label = result.root_label
+    except PoolBrokenError:
+        # Recovery (worker death must never corrupt a commitment
+        # round): the randomness above is on the node objects, so one
+        # serial pass restores exactly the labels the pool would have
+        # produced.
+        get_registry().counter("mtt_pool_failures_total",
+                               mode="fallback").inc()
+        start = time.perf_counter()
+        root_label = _hash_pass(tree)
+        seconds = time.perf_counter() - start
+        mode = "serial-fallback"
+        jobs = 1
+    finally:
+        if own_pool:
+            pool.close()
+    _observe_labeling(mode, seconds, hashes, jobs=jobs, workers=workers)
     return ParallelLabelReport(
         root_label=root_label, workers=workers, seconds=seconds,
-        hash_count=hashes, mode=mode, jobs=len(jobs))
-
-
-def _run_pool(tasks: Sequence[Tuple[List[Tuple[int, Any]],
-                                    List[MttNode]]],
-              workers: int, prefer_processes: bool) -> str:
-    """Label encoded subtrees on a pool; returns the pool mode used."""
-    import concurrent.futures as futures
-
-    all_ops = [ops for ops, _ in tasks]
-    chunksize = max(1, len(tasks) // (workers * 4))
-
-    def apply(results: Iterable[List[bytes]]) -> None:
-        for (_, nodes), labels in zip(tasks, results):
-            for node, label in zip(nodes, labels):
-                node.label = label
-
-    if prefer_processes:
-        try:
-            import multiprocessing
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # platform without fork
-                context = multiprocessing.get_context()
-            with futures.ProcessPoolExecutor(
-                    max_workers=workers, mp_context=context) as pool:
-                apply(pool.map(_label_ops, all_ops, chunksize=chunksize))
-            return "process"
-        except (OSError, PermissionError, ImportError):
-            pass  # sandboxed/exotic platform: fall through to threads
-    with futures.ThreadPoolExecutor(max_workers=workers) as pool:
-        apply(pool.map(_label_ops, all_ops))
-    return "thread"
+        hash_count=hashes, mode=mode, jobs=jobs,
+        spinup_seconds=spinup_seconds)
 
 
 def label_tree_with_workers(
         tree: Mtt, csprng: Rc4Csprng, workers: int = 1,
-        cut_depth: int = 4
+        cut_depth: int = 4, pool: Optional[LabelPool] = None,
+        materialize: bool = True,
 ) -> "Union[LabelingReport, ParallelLabelReport]":
     """Labeling entry point for recorder and proof generator.
 
-    Serial fast path (flattened schedule) when ``workers <= 1``, the real
-    worker pool otherwise.  Both return objects exposing ``root_label``,
-    ``seconds``, and ``hash_count``.
+    Serial fast path (flattened schedule) when ``workers <= 1`` and no
+    warm pool is supplied, the real worker pool otherwise.  Both return
+    objects exposing ``root_label``, ``seconds``, and ``hash_count``.
+    ``materialize=False`` (pool path only) skips copying per-node labels
+    back onto the tree — for the commitment round, where only the root
+    is consumed; reconstructions must keep the default, proofs read the
+    node labels.
     """
-    if workers <= 1:
+    if workers <= 1 and pool is None:
         return label_tree(tree, csprng)
     return label_tree_parallel(tree, csprng, workers=workers,
-                               cut_depth=cut_depth)
+                               cut_depth=cut_depth, pool=pool,
+                               materialize=materialize)
 
 
 # ----------------------------------------------------------------------
@@ -393,32 +349,13 @@ class ParallelReport:
         return self.sequential_seconds / self.makespan_seconds
 
 
-def _top_level_jobs(tree: Mtt, fanout_depth: int) -> List[MttNode]:
-    """Subtree roots at ``fanout_depth`` levels below the MTT root.
-
-    More depth yields more, smaller jobs and therefore a better balanced
-    schedule (the paper splits 'the MTT into subtrees that are each
-    labeled completely by one of the threads').
-    """
-    jobs: List[MttNode] = []
-    frontier: List[Tuple[MttNode, int]] = [(tree.root, 0)]
-    while frontier:
-        node, depth = frontier.pop()
-        if depth >= fanout_depth or not isinstance(node, InnerNode):
-            jobs.append(node)
-            continue
-        frontier.extend((c, depth + 1) for c in node.children
-                        if c is not None)
-    return jobs
-
-
 def parallel_labeling_report(tree: Mtt, csprng: Rc4Csprng, workers: int,
                              fanout_depth: int = 4) -> ParallelReport:
     """Label the tree and model the work as ``workers`` parallel jobs."""
     if workers < 1:
         raise ValueError("need at least one worker")
     assign_randomness(tree, csprng)
-    jobs = _top_level_jobs(tree, fanout_depth)
+    jobs = subtree_jobs(tree, fanout_depth)
 
     registry = get_registry()
     subtree_histogram = registry.histogram("mtt_subtree_seconds")

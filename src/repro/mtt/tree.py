@@ -14,12 +14,19 @@ slot of every inner node is an inner node, a prefix node, or a dummy).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..bgp.prefix import Prefix
 from .nodes import BitNode, DummyNode, EDGE_END, EDGES, InnerNode, \
     MttNode, PrefixNode, validate_structure
+
+#: Slot kinds of the flattened labeling program (one byte per node in
+#: :class:`FlatSchedule`).  Dummy slots carry pre-drawn random labels,
+#: bit slots hash ``H(b || x)`` in place over their blinding, interior
+#: slots hash the concatenation of their children's label slots.
+SLOT_DUMMY, SLOT_BIT, SLOT_INTERIOR = 0, 1, 2
 
 
 class FlatSchedule:
@@ -44,10 +51,28 @@ class FlatSchedule:
     * ``interiors`` — ``(node, children)`` pairs for every prefix and
       inner node in post-order: children always precede parents, so one
       forward pass computes every Merkle label.
+
+    Beyond the node-object views, the schedule also carries a fully
+    *flat* slot representation of the same post-order: every node
+    (dummies included) is assigned a slot id in completion order, and
+    the whole hash program becomes four contiguous arrays —
+    ``slot_kinds`` (one :data:`SLOT_DUMMY`/:data:`SLOT_BIT`/
+    :data:`SLOT_INTERIOR` byte per slot), ``slot_bits`` (the committed
+    bit for bit slots), and ``child_offsets``/``child_slots`` (CSR-style
+    child indices for interior slots).  Because a node's entire subtree
+    completes before the node itself, each subtree occupies one
+    contiguous slot block (``subtree_sizes`` gives the block length),
+    which is what lets the shared-memory label pool hand a worker a
+    ``(lo, hi)`` slot range instead of a pickled subtree — see
+    :mod:`repro.mtt.pool`.  ``rand_slots`` maps each ``rand_plan`` entry
+    to its slot so randomness can be written straight into a flat label
+    buffer; ``slot_nodes`` maps slots back to nodes for the copy-out.
     """
 
     __slots__ = ("rand_plan", "reset_nodes", "bit_nodes", "bit_values",
-                 "interiors", "counts")
+                 "interiors", "counts", "slot_nodes", "slot_kinds",
+                 "slot_bits", "child_offsets", "child_slots",
+                 "subtree_sizes", "rand_slots", "_slot_index")
 
     def __init__(self, root: MttNode):
         # Pass 1 — preorder DFS, identical to the original recursive
@@ -72,22 +97,53 @@ class FlatSchedule:
                                        if c is not None]))
         self.rand_plan = tuple(rand_plan)
 
-        # Pass 2 — post-order: children before parents, so labels can be
-        # computed in one forward sweep.
+        # Pass 2 — post-order with slot assignment: children before
+        # parents, so labels can be computed in one forward sweep, and
+        # every subtree lands in one contiguous slot block.
         bit_nodes: List[BitNode] = []
         interiors: List[Tuple[MttNode, Tuple[MttNode, ...]]] = []
+        slot_nodes: List[MttNode] = []
+        slot_index: Dict[int, int] = {}
+        slot_kinds = bytearray()
+        slot_bits = bytearray()
+        child_offsets = array("I", (0,))
+        child_slots: "array[int]" = array("I")
+        subtree_sizes: "array[int]" = array("I")
         work: List[Tuple[MttNode, Optional[Tuple[MttNode, ...]]]] = \
             [(root, None)]
         while work:
             node, children = work.pop()
             kind = type(node)
             if kind is DummyNode:
+                slot_index[id(node)] = len(slot_nodes)
+                slot_nodes.append(node)
+                slot_kinds.append(SLOT_DUMMY)
+                slot_bits.append(0)
+                child_offsets.append(len(child_slots))
+                subtree_sizes.append(1)
                 continue
             if kind is BitNode:
                 bit_nodes.append(node)
+                slot_index[id(node)] = len(slot_nodes)
+                slot_nodes.append(node)
+                slot_kinds.append(SLOT_BIT)
+                slot_bits.append(node.bit)
+                child_offsets.append(len(child_slots))
+                subtree_sizes.append(1)
                 continue
             if children is not None:
                 interiors.append((node, children))
+                slot_index[id(node)] = len(slot_nodes)
+                slot_nodes.append(node)
+                slot_kinds.append(SLOT_INTERIOR)
+                slot_bits.append(0)
+                size = 1
+                for child in children:
+                    child_slot = slot_index[id(child)]
+                    child_slots.append(child_slot)
+                    size += subtree_sizes[child_slot]
+                child_offsets.append(len(child_slots))
+                subtree_sizes.append(size)
                 continue
             if kind is PrefixNode:
                 kids: Tuple[MttNode, ...] = tuple(node.bit_nodes)
@@ -100,9 +156,27 @@ class FlatSchedule:
         self.interiors = tuple(interiors)
         self.reset_nodes = tuple(
             [n for n, _ in interiors] + list(bit_nodes))
+        self.slot_nodes = tuple(slot_nodes)
+        self.slot_kinds = bytes(slot_kinds)
+        self.slot_bits = bytes(slot_bits)
+        self.child_offsets = child_offsets
+        self.child_slots = child_slots
+        self.subtree_sizes = subtree_sizes
+        self._slot_index = slot_index
+        self.rand_slots: "array[int]" = array(
+            "I", (slot_index[id(node)] for node, _ in rand_plan))
         dummy = sum(1 for _, is_dummy in rand_plan if is_dummy)
         self.counts = NodeCensus(inner=inner, prefix=prefix,
                                  bit=len(bit_nodes), dummy=dummy)
+
+    @property
+    def n_slots(self) -> int:
+        """Total label slots (== the node census total; root is last)."""
+        return len(self.slot_nodes)
+
+    def slot_of(self, node: MttNode) -> int:
+        """The label-buffer slot assigned to ``node``."""
+        return self._slot_index[id(node)]
 
 
 @dataclass(frozen=True)

@@ -239,7 +239,8 @@ class NodeRuntime:
         return processed
 
     def close(self) -> None:
-        """Flush and close the durable store, if one is attached."""
+        """Release the recorder's worker pool and close the store."""
+        self.recorder.close()
         if self.store is not None:
             self.store.close()
 

@@ -120,6 +120,10 @@ class SpiderNode:
         """This AS's logged view of the world at ``commit_time``."""
         return replay(self.recorder.log, self.asn, commit_time)
 
+    def close(self) -> None:
+        """Release held resources (the recorder's warm labeling pool)."""
+        self.recorder.close()
+
 
 @dataclass
 class VerificationOutcome:

@@ -143,10 +143,14 @@ class ProofGenerator:
         tree = Mtt.build(entries)
         replay_seconds = time.perf_counter() - start
 
+        # Reuses the recorder's warm labeling pool: reconstructions are
+        # the same workload as live commitments (§6.5 replay), so they
+        # share the same workers and shared-memory program.
         report = label_tree_with_workers(
             tree, Rc4Csprng(seed),
             workers=recorder.config.commit_workers,
-            cut_depth=recorder.config.label_cut_depth)
+            cut_depth=recorder.config.label_cut_depth,
+            pool=recorder.labeling_pool())
         if not constant_time_eq(report.root_label,
                                 entry.payload["root"]):
             raise RuntimeError(

@@ -28,6 +28,7 @@ from ..crypto.keys import Identity, KeyRegistry
 from ..crypto.rc4 import Rc4Csprng
 from ..crypto.signatures import Signed, Signer, Verifier
 from ..mtt.labeling import label_tree_with_workers
+from ..mtt.pool import LabelPool
 from ..mtt.tree import Mtt
 from ..netsim.metering import CpuMeter, StorageMeter
 from ..obs.registry import ClockLike, get_registry
@@ -139,12 +140,51 @@ class Recorder:
         self.sent_hooks: List[Callable[[object], None]] = []
         self.ack_hooks: List[Callable[[SpiderAck], None]] = []
         self.receive_hooks: List[Callable[[object], None]] = []
+        #: The warm shared-memory labeling pool (spawned lazily on the
+        #: first multi-worker commitment, reused across rounds; see
+        #: repro.mtt.pool).  ``close()`` shuts it down.
+        self._label_pool: Optional[LabelPool] = None
         if recovered_entries is not None:
             self._adopt_recovery()
 
     @property
     def asn(self) -> int:
         return self.identity.asn
+
+    # ------------------------------------------------------------------
+    # Warm labeling pool lifecycle (see repro.mtt.pool)
+
+    def labeling_pool(self) -> Optional[LabelPool]:
+        """The warm labeling pool, spawned lazily; ``None`` when serial.
+
+        One pool of ``commit_workers`` processes serves every commitment
+        round and every proof-generator reconstruction.  A pool that
+        broke (worker death mid-round) is discarded here and replaced,
+        so one crashed worker costs exactly one serial-fallback round.
+        """
+        if self.config.commit_workers <= 1 or \
+                not self.config.label_pool_warm:
+            return None
+        pool = self._label_pool
+        if pool is not None and pool.broken:
+            pool.close()
+            pool = None
+        if pool is None:
+            pool = LabelPool(self.config.commit_workers,
+                             timeout=self.config.label_pool_timeout)
+            self._label_pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Release held resources (the warm labeling pool); idempotent.
+
+        The recorder stays usable after ``close()`` — a later
+        commitment simply respawns the pool — but callers shutting a
+        node down should not rely on that.
+        """
+        if self._label_pool is not None:
+            self._label_pool.close()
+            self._label_pool = None
 
     # ------------------------------------------------------------------
     # Crash recovery (the durable-store path; see repro.store.recovery)
@@ -499,10 +539,14 @@ class Recorder:
             entries = self.mtt_entries(self.state)
             with self.cpu.section("mtt"):
                 tree = Mtt.build(entries)
+                # materialize=False: only the root leaves this scope —
+                # the tree is discarded, and proofs later come from a
+                # fresh §6.5 reconstruction in the proof generator.
                 report = label_tree_with_workers(
                     tree, Rc4Csprng(self.commitment_seed(commit_time)),
                     workers=self.config.commit_workers,
-                    cut_depth=self.config.label_cut_depth)
+                    cut_depth=self.config.label_cut_depth,
+                    pool=self.labeling_pool(), materialize=False)
             with self.cpu.section("signatures"):
                 message = SpiderCommitment.make(self.signer, commit_time,
                                                 report.root_label)

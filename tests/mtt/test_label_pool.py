@@ -1,0 +1,319 @@
+"""Tests for the shared-memory warm labeling pool (repro.mtt.pool).
+
+The pool's contract has three legs — determinism (byte-identical to
+serial labeling, per node, in every mode), warmth (workers and the
+installed program survive across rounds), and survivability (a dead
+worker costs one serial-fallback round, never a wrong or partial
+tree).  Each gets exercised here, plus the recorder-level lifecycle
+that owns the pool in a deployment.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.prefix import Prefix
+from repro.crypto.keys import KeyRegistry, make_identity
+from repro.crypto.rc4 import Rc4Csprng
+from repro.mtt.labeling import label_tree, label_tree_parallel
+from repro.mtt.pool import LabelPool, PoolBrokenError, subtree_jobs
+from repro.mtt.tree import Mtt
+from repro.core.promise import total_order_promise
+from repro.netsim.events import Simulator
+from repro.spider.config import SpiderConfig
+from repro.spider.node import evaluation_scheme
+from repro.spider.recorder import Recorder
+
+
+def entries_grid(n, k):
+    return {Prefix.parse(f"10.{i}.0.0/16"): [(i >> j) & 1
+                                             for j in range(k)]
+            for i in range(n)}
+
+
+def serial_snapshot(tree, seed):
+    """Serial-label the tree and capture (root, per-node labels)."""
+    report = label_tree(tree, Rc4Csprng(seed))
+    return report.root_label, node_labels(tree)
+
+
+def node_labels(tree):
+    return [node.label for node in tree.schedule().slot_nodes]
+
+
+@pytest.fixture(scope="module")
+def pools():
+    """Warm pools shared across tests; keyed by (workers, mode)."""
+    cache = {}
+
+    def get(workers, prefer_processes=True):
+        key = (workers, prefer_processes)
+        if key not in cache or cache[key].broken:
+            cache[key] = LabelPool(workers,
+                                   prefer_processes=prefer_processes,
+                                   timeout=10.0)
+        return cache[key]
+
+    yield get
+    for pool in cache.values():
+        pool.close()
+
+
+class TestWarmPool:
+    def test_rounds_match_serial_and_reuse_workers(self, pools):
+        tree = Mtt.build(entries_grid(24, 5))
+        root_a, _ = serial_snapshot(tree, b"round-a")
+        root_b, _ = serial_snapshot(tree, b"round-b")
+        pool = pools(2)
+        pids = sorted(pool.worker_pids())
+        report_a = label_tree_parallel(tree, Rc4Csprng(b"round-a"),
+                                       workers=2, pool=pool)
+        report_b = label_tree_parallel(tree, Rc4Csprng(b"round-b"),
+                                       workers=2, pool=pool)
+        assert report_a.root_label == root_a
+        assert report_b.root_label == root_b
+        assert report_a.mode == pool.mode
+        # Warm: same workers served both rounds, and the second round
+        # reused the installed program (no install cost).
+        assert sorted(pool.worker_pids()) == pids
+        assert report_b.spinup_seconds == 0.0
+
+    def test_per_node_labels_match_serial(self, pools):
+        tree = Mtt.build(entries_grid(16, 4))
+        _, expected = serial_snapshot(tree, b"per-node")
+        pool = pools(2)
+        label_tree_parallel(tree, Rc4Csprng(b"per-node"), workers=2,
+                            pool=pool, materialize=True)
+        assert node_labels(tree) == expected
+
+    def test_materialize_false_returns_root_only(self, pools):
+        tree = Mtt.build(entries_grid(16, 4))
+        root, _ = serial_snapshot(tree, b"root-only")
+        pool = pools(2)
+        report = label_tree_parallel(tree, Rc4Csprng(b"root-only"),
+                                     workers=2, pool=pool,
+                                     materialize=False)
+        assert report.root_label == root
+
+    def test_shape_change_reinstalls_program(self, pools):
+        pool = pools(2)
+        for n in (8, 20):
+            tree = Mtt.build(entries_grid(n, 3))
+            root, _ = serial_snapshot(tree, b"reinstall")
+            report = label_tree_parallel(tree, Rc4Csprng(b"reinstall"),
+                                         workers=2, pool=pool)
+            assert report.root_label == root
+
+    def test_closed_pool_raises(self):
+        pool = LabelPool(2, timeout=10.0)
+        pool.close()
+        tree = Mtt.build(entries_grid(4, 2))
+        with pytest.raises(PoolBrokenError):
+            pool.label(tree, cut_depth=2)
+        pool.close()  # idempotent
+
+    def test_ephemeral_pool_counts_spinup(self):
+        tree = Mtt.build(entries_grid(8, 3))
+        root, _ = serial_snapshot(tree, b"ephemeral")
+        report = label_tree_parallel(tree, Rc4Csprng(b"ephemeral"),
+                                     workers=2)
+        assert report.root_label == root
+        assert report.spinup_seconds > 0.0
+
+
+class TestWorkerDeathRecovery:
+    """Satellite: a killed worker degrades to one serial-fallback
+    round with byte-identical output, and marks the pool broken."""
+
+    def test_sigkill_mid_deployment_falls_back_serially(self):
+        pool = LabelPool(2, timeout=10.0)
+        if pool.mode != "process":
+            pool.close()
+            pytest.skip("no subprocess support on this platform")
+        tree = Mtt.build(entries_grid(20, 4))
+        root, expected = serial_snapshot(tree, b"killed")
+        # Warm the pool, then kill a worker the way an OOM-killer would.
+        label_tree_parallel(tree, Rc4Csprng(b"warmup"), workers=2,
+                            pool=pool)
+        victim = pool.worker_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            try:
+                os.kill(victim, 0)
+            except ProcessLookupError:
+                break
+            time.sleep(0.01)
+        report = label_tree_parallel(tree, Rc4Csprng(b"killed"),
+                                     workers=2, pool=pool)
+        assert report.mode == "serial-fallback"
+        assert report.root_label == root
+        assert node_labels(tree) == expected
+        assert pool.broken
+        pool.close()
+
+    def test_die_command_breaks_pool(self):
+        pool = LabelPool(1, timeout=5.0)
+        if pool.mode != "process":
+            pool.close()
+            pytest.skip("no subprocess support on this platform")
+        tree = Mtt.build(entries_grid(6, 2))
+        label_tree(tree, Rc4Csprng(b"die"))  # assigns randomness
+        pool.label(tree, cut_depth=2)  # install + one good round
+        pool._conns[0].send(("die",))
+        with pytest.raises(PoolBrokenError):
+            pool.label(tree, cut_depth=2)
+        assert pool.broken
+        pool.close()
+
+
+class TestThreadFallback:
+    """Satellite: the degraded thread path must dispatch whole bins to
+    a warm executor (not per-subtree tasks) and stay byte-identical."""
+
+    def test_thread_mode_matches_serial_per_node(self, pools):
+        tree = Mtt.build(entries_grid(16, 4))
+        _, expected = serial_snapshot(tree, b"threads")
+        pool = pools(2, prefer_processes=False)
+        assert pool.mode == "thread"
+        report = label_tree_parallel(tree, Rc4Csprng(b"threads"),
+                                     workers=2, pool=pool)
+        assert report.mode == "thread"
+        assert node_labels(tree) == expected
+
+    def test_thread_dispatch_is_per_worker_not_per_job(self, pools):
+        tree = Mtt.build(entries_grid(32, 4))
+        label_tree(tree, Rc4Csprng(b"dispatch"))  # assigns randomness
+        pool = pools(2, prefer_processes=False)
+        result = pool.label(tree, cut_depth=4)
+        # Many subtree jobs, but at most one dispatch per worker: the
+        # dispatch-per-subtree overhead was the thread path's
+        # regression.
+        assert result.jobs > pool.workers
+        assert 0 < result.dispatches <= pool.workers
+
+    def test_prefer_processes_false_without_pool(self):
+        tree = Mtt.build(entries_grid(8, 3))
+        root, _ = serial_snapshot(tree, b"adhoc-thread")
+        report = label_tree_parallel(tree, Rc4Csprng(b"adhoc-thread"),
+                                     workers=2, prefer_processes=False)
+        assert report.mode == "thread"
+        assert report.root_label == root
+
+
+class TestRecorderLifecycle:
+    """The recorder owns one warm pool per deployment (§7.1's c
+    commitment threads), shared with the proof generator."""
+
+    ELECTOR, CONSUMER = 5, 7
+
+    def make_recorder(self, **config_kwargs):
+        registry = KeyRegistry()
+        identity = make_identity(self.ELECTOR, registry=registry,
+                                 bits=512, seed=910)
+        make_identity(self.CONSUMER, registry=registry, bits=512,
+                      seed=911)
+        scheme = evaluation_scheme(5)
+        sim = Simulator()
+        return Recorder(
+            identity=identity, registry=registry, scheme=scheme,
+            promises={self.CONSUMER: total_order_promise(scheme)},
+            config=SpiderConfig(**config_kwargs),
+            clock=sim.clock,
+            transport=lambda receiver, message: None,
+            schedule=sim.after)
+
+    def test_serial_config_has_no_pool(self):
+        recorder = self.make_recorder(commit_workers=1)
+        assert recorder.labeling_pool() is None
+        recorder.close()
+
+    def test_warm_pool_disabled_by_config(self):
+        recorder = self.make_recorder(commit_workers=2,
+                                      label_pool_warm=False)
+        assert recorder.labeling_pool() is None
+        recorder.close()
+
+    def test_pool_survives_across_commitment_rounds(self):
+        recorder = self.make_recorder(commit_workers=2)
+        pool = recorder.labeling_pool()
+        assert pool is not None and not pool.broken
+        record_a = recorder.make_commitment()
+        record_b = recorder.make_commitment()
+        assert record_a.root and record_b.root
+        assert recorder.labeling_pool() is pool  # warm, not respawned
+        recorder.close()
+
+    def test_broken_pool_is_replaced_next_round(self):
+        recorder = self.make_recorder(commit_workers=2)
+        pool = recorder.labeling_pool()
+        assert pool is not None
+        pool.broken = True
+        replacement = recorder.labeling_pool()
+        assert replacement is not pool
+        assert not replacement.broken
+        recorder.close()
+
+    def test_close_is_idempotent_and_releases_pool(self):
+        recorder = self.make_recorder(commit_workers=2)
+        assert recorder.labeling_pool() is not None
+        recorder.close()
+        recorder.close()
+        # The recorder stays usable: a later round respawns lazily.
+        assert recorder.labeling_pool() is not None
+        recorder.close()
+
+
+@st.composite
+def random_entries(draw):
+    n = draw(st.integers(1, 10))
+    k = draw(st.integers(1, 5))
+    prefixes = draw(st.sets(
+        st.lists(st.integers(0, 1), min_size=0, max_size=9).map(
+            lambda bits: Prefix.from_bits(tuple(bits))),
+        min_size=1, max_size=n))
+    return {
+        p: [draw(st.integers(0, 1)) for _ in range(k)]
+        for p in prefixes
+    }
+
+
+class TestPoolDeterminismProperty:
+    """Satellite: serial, shared-memory pool, and thread fallback agree
+    byte for byte — roots AND per-node labels — over random tree
+    shapes, cut depths, and worker counts."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_entries(), st.integers(0, 5), st.integers(2, 4),
+           st.binary(min_size=1, max_size=8))
+    def test_all_modes_byte_identical(self, pools, entries, cut_depth,
+                                      workers, seed):
+        tree = Mtt.build(entries)
+        root, expected = serial_snapshot(tree, seed)
+        for prefer_processes in (True, False):
+            pool = pools(workers, prefer_processes)
+            report = label_tree_parallel(
+                tree, Rc4Csprng(seed), workers=workers,
+                cut_depth=cut_depth, pool=pool)
+            assert report.root_label == root, (pool.mode, cut_depth)
+            assert node_labels(tree) == expected, (pool.mode, cut_depth)
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_entries(), st.integers(0, 4))
+    def test_job_partition_covers_tree(self, entries, cut_depth):
+        tree = Mtt.build(entries)
+        jobs = subtree_jobs(tree, cut_depth)
+        schedule = tree.schedule()
+        sizes = schedule.subtree_sizes
+        seen = set()
+        for job in jobs:
+            hi = schedule.slot_of(job) + 1
+            lo = hi - sizes[hi - 1]
+            block = set(range(lo, hi))
+            assert not (block & seen)  # disjoint
+            seen |= block
+        assert len(seen) <= schedule.n_slots

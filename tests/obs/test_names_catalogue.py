@@ -20,7 +20,10 @@ GOLDEN_NAMES = sorted([
     "verify_seconds",
     "mtt_labelings_total", "mtt_hashes_total", "mtt_label_seconds",
     "mtt_subtree_seconds", "mtt_pool_workers", "mtt_pool_jobs",
-    "mtt_pool_utilization",
+    "mtt_pool_utilization", "mtt_pool_spinups_total",
+    "mtt_pool_spinup_seconds", "mtt_pool_installs_total",
+    "mtt_pool_dispatches_total", "mtt_pool_occupancy",
+    "mtt_pool_failures_total",
     "spider_alarms_total",
     "traffic_bytes_total", "cpu_seconds_total", "cpu_calls_total",
     "cpu_section_seconds", "storage_bytes_total",
