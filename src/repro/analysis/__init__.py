@@ -3,35 +3,66 @@
 SPIDeR's safety argument rests on invariants tests can only spot-check:
 deterministic paths stay seeded, decoders fail closed, digest
 comparisons run in constant time, the metrics schema stays canonical,
-wire dataclasses stay frozen.  This package enforces them statically on
-every commit — the cheap analogue of IVeri's SMT verifier for our
-pure-Python codebase.
+wire dataclasses stay frozen, private policy state never reaches a
+public sink unblinded.  This package enforces them statically on every
+commit — the cheap analogue of IVeri's SMT verifier for our pure-Python
+codebase.
 
-Public surface:
+Two engines share one finding/suppression/baseline pipeline:
 
-* :func:`repro.analysis.rules.all_rules` — the rule catalogue
-  (SPDR001–SPDR005);
-* :class:`repro.analysis.engine.Engine` — runs rules over files or raw
-  source, honoring suppressions and a baseline;
-* :mod:`repro.analysis.baseline` — the ratchet file format;
-* ``python -m repro.analysis`` — the CLI (see
-  :mod:`repro.analysis.cli`).
+* the **lint** engine (:class:`repro.analysis.engine.Engine`) runs the
+  per-file AST/CFG rules SPDR001–005 and SPDR007
+  (:func:`repro.analysis.rules.all_rules`);
+* the **dataflow** engine
+  (:func:`repro.analysis.taint.analyze_paths_dataflow`) builds a
+  whole-program call graph (:mod:`repro.analysis.callgraph`), per-
+  function CFGs (:mod:`repro.analysis.cfg`), and runs an
+  interprocedural taint solver (:mod:`repro.analysis.taint`) against
+  the privacy contract registry
+  (:mod:`repro.analysis.contracts`) — rules SPDR006 and SPDR008.
+
+``python -m repro.analysis`` is the CLI (see
+:mod:`repro.analysis.cli`); :mod:`repro.analysis.baseline` is the
+shrink-only ratchet file format.
 """
 
 from __future__ import annotations
 
-from .baseline import load_baseline, write_baseline
+from .baseline import (BASELINE_VERSION, BaselineError, baseline_version,
+                       check_shrunk, load_baseline, migrate_baseline,
+                       write_baseline)
+from .callgraph import Program, load_program, source_tree_digest
+from .cfg import Cfg, build_cfg
+from .contracts import ContractRegistry, default_registry
 from .engine import AnalysisResult, Engine, Rule, RuleContext
-from .findings import Finding
+from .findings import FINGERPRINT_SCHEMA, Finding, compute_fingerprint
 from .rules import all_rules
+from .taint import TaintAnalysis, analyze_paths_dataflow, build_registry
 
 __all__ = [
     "AnalysisResult",
+    "BASELINE_VERSION",
+    "BaselineError",
+    "Cfg",
+    "ContractRegistry",
     "Engine",
+    "FINGERPRINT_SCHEMA",
     "Finding",
+    "Program",
     "Rule",
     "RuleContext",
+    "TaintAnalysis",
     "all_rules",
+    "analyze_paths_dataflow",
+    "baseline_version",
+    "build_cfg",
+    "build_registry",
+    "check_shrunk",
+    "compute_fingerprint",
+    "default_registry",
     "load_baseline",
+    "load_program",
+    "migrate_baseline",
+    "source_tree_digest",
     "write_baseline",
 ]

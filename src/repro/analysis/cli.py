@@ -3,13 +3,25 @@
 Usage patterns::
 
     python -m repro.analysis src                    # lint, exit 1 on findings
+    python -m repro.analysis src --engine dataflow  # SPDR006/008 taint pass
+    python -m repro.analysis src --engine all       # both
     python -m repro.analysis src --baseline analysis-baseline.json
     python -m repro.analysis src --write-baseline analysis-baseline.json
+    python -m repro.analysis src --engine all --stats stats.json
+    python -m repro.analysis src --engine dataflow --explain <fingerprint>
     python -m repro.analysis --list-rules
     python -m repro.analysis --check-shrunk OLD NEW # baseline ratchet check
+    python -m repro.analysis --migrate-baseline analysis-baseline.json
 
 Exit status: 0 when no (non-baselined) findings and no parse errors,
 1 when findings remain, 2 for usage/baseline errors.
+
+The ``lint`` engine runs the per-file AST/CFG rules (SPDR001–005,
+SPDR007); the ``dataflow`` engine runs the whole-program privacy-taint
+rules (SPDR006, SPDR008), whose findings print an indented source→sink
+path trace.  ``--cache-dir`` (default ``.spiderlint-cache``) memoizes
+the parsed program keyed on a source-tree digest so repeated dataflow
+runs skip the parse; ``--no-cache`` disables it.
 """
 
 from __future__ import annotations
@@ -17,12 +29,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence, Set
 
-from .baseline import BaselineError, check_shrunk, load_baseline, \
-    write_baseline
+from .baseline import BASELINE_VERSION, BaselineError, baseline_version, \
+    check_shrunk, load_baseline, migrate_baseline, write_baseline
 from .engine import AnalysisResult, Engine, Rule
+from .findings import Finding
 from .rules import all_rules
+from .taint import analyze_paths_dataflow
+
+DEFAULT_CACHE_DIR = ".spiderlint-cache"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,22 +49,42 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", default=[],
                         help="files or directories to analyze "
                              "(default: src)")
+    parser.add_argument("--engine", choices=("lint", "dataflow", "all"),
+                        default="lint",
+                        help="lint = per-file AST/CFG rules; dataflow = "
+                             "whole-program privacy taint (SPDR006/008)")
     parser.add_argument("--baseline", metavar="FILE", default=None,
                         help="subtract findings recorded in this "
                              "baseline file")
     parser.add_argument("--write-baseline", metavar="FILE", default=None,
                         help="write current findings to FILE and exit 0")
+    parser.add_argument("--migrate-baseline", metavar="FILE",
+                        default=None,
+                        help="rewrite a v1 baseline file as "
+                             f"v{BASELINE_VERSION} and exit")
     parser.add_argument("--format", choices=("text", "json"),
                         default="text", help="output format")
     parser.add_argument("--rules", metavar="IDS", default=None,
                         help="comma-separated rule ids to run "
-                             "(default: all)")
+                             "(default: all; lint engine only)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--check-shrunk", nargs=2,
                         metavar=("OLD", "NEW"), default=None,
                         help="verify baseline NEW adds no entries over "
                              "OLD, then exit")
+    parser.add_argument("--stats", metavar="FILE", default=None,
+                        help="write per-rule runtime and finding "
+                             "counts to FILE as JSON")
+    parser.add_argument("--explain", metavar="FINGERPRINT", default=None,
+                        help="print the full path trace of the finding "
+                             "with this fingerprint and exit")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        default=DEFAULT_CACHE_DIR,
+                        help="program-index cache directory for the "
+                             "dataflow engine")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the dataflow program cache")
     return parser
 
 
@@ -65,6 +102,20 @@ def _select_rules(spec: Optional[str]) -> List[Rule]:
     return [rule for rule in rules if rule.rule_id in wanted]
 
 
+def _merge_results(into: AnalysisResult,
+                   extra: AnalysisResult) -> AnalysisResult:
+    into.findings.extend(extra.findings)
+    into.suppressed += extra.suppressed
+    into.baselined += extra.baselined
+    into.files_analyzed = max(into.files_analyzed, extra.files_analyzed)
+    into.parse_errors.extend(extra.parse_errors)
+    into.findings.sort(key=lambda f: (f.path, f.line, f.column,
+                                      f.rule_id))
+    # Parse errors are reported once even when both engines saw them.
+    into.parse_errors = sorted(set(into.parse_errors))
+    return into
+
+
 def _emit(result: AnalysisResult, output_format: str) -> None:
     if output_format == "json":
         doc = {
@@ -75,7 +126,8 @@ def _emit(result: AnalysisResult, output_format: str) -> None:
             "findings": [
                 {"rule": f.rule_id, "path": f.path, "line": f.line,
                  "column": f.column, "message": f.message,
-                 "fingerprint": f.fingerprint()}
+                 "fingerprint": f.fingerprint(),
+                 "trace": list(f.trace)}
                 for f in result.findings
             ],
         }
@@ -85,11 +137,34 @@ def _emit(result: AnalysisResult, output_format: str) -> None:
         print(error)
     for finding in result.findings:
         print(finding.render())
+        for line in finding.render_trace():
+            print(line)
     summary = (f"spiderlint: {result.files_analyzed} files, "
                f"{len(result.findings)} finding(s), "
                f"{result.suppressed} suppressed, "
                f"{result.baselined} baselined")
     print(summary, file=sys.stderr)
+
+
+def _explain(result: AnalysisResult, fingerprint: str) -> int:
+    matches = [f for f in result.findings
+               if f.fingerprint() == fingerprint]
+    if not matches:
+        print(f"no finding with fingerprint {fingerprint!r} "
+              f"(note: baselined/suppressed findings are excluded; "
+              f"rerun without --baseline to explain them)",
+              file=sys.stderr)
+        return 2
+    for finding in matches:
+        print(finding.render())
+        trace = finding.render_trace()
+        if trace:
+            print("  path trace (source -> sink):")
+            for line in trace:
+                print(f"  {line}")
+        else:
+            print("  (per-file rule: no interprocedural trace)")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -99,11 +174,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.title}")
+        print("SPDR006  private state reaches a public sink without a "
+              "declassifier (dataflow)")
+        print("SPDR008  tainted values interpolated into raised "
+              "exception text (dataflow)")
+        return 0
+
+    if args.migrate_baseline is not None:
+        try:
+            count = migrate_baseline(args.migrate_baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"migrated {count} entr{'y' if count == 1 else 'ies'} to "
+              f"schema v{BASELINE_VERSION} in {args.migrate_baseline}",
+              file=sys.stderr)
         return 0
 
     if args.check_shrunk is not None:
         old_path, new_path = args.check_shrunk
         try:
+            if baseline_version(old_path) != \
+                    baseline_version(new_path):
+                print("baseline schema changed between OLD and NEW; "
+                      "treating as migration, skipping shrink check",
+                      file=sys.stderr)
+                return 0
             grown = check_shrunk(old_path, new_path)
         except BaselineError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -117,7 +213,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("baseline ok: no new entries", file=sys.stderr)
         return 0
 
-    baseline = None
+    baseline: Optional[Set[str]] = None
     if args.baseline is not None:
         try:
             baseline = load_baseline(args.baseline)
@@ -125,9 +221,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    engine = Engine(_select_rules(args.rules))
     paths = list(args.paths) or ["src"]
-    result = engine.analyze_paths(paths, baseline=baseline)
+    cache_dir = None if args.no_cache else args.cache_dir
+    stats: Dict[str, object] = {"engine": args.engine}
+
+    result = AnalysisResult()
+    if args.engine in ("lint", "all"):
+        engine = Engine(_select_rules(args.rules))
+        t0 = time.perf_counter()
+        lint_result = engine.analyze_paths(paths, baseline=baseline)
+        lint_seconds = time.perf_counter() - t0
+        stats["lint"] = {
+            "seconds": round(lint_seconds, 4),
+            "files": lint_result.files_analyzed,
+            "findings": _per_rule_counts(lint_result.findings),
+        }
+        result = _merge_results(result, lint_result)
+    if args.engine in ("dataflow", "all"):
+        phase: Dict[str, float] = {}
+        t0 = time.perf_counter()
+        flow_result = analyze_paths_dataflow(
+            paths, baseline=baseline, cache_dir=cache_dir, stats=phase)
+        flow_seconds = time.perf_counter() - t0
+        stats["dataflow"] = {
+            "seconds": round(flow_seconds, 4),
+            "parse_seconds": round(phase.get("parse_seconds", 0.0), 4),
+            "solve_seconds": round(phase.get("solve_seconds", 0.0), 4),
+            "functions": int(phase.get("functions", 0)),
+            "findings": _per_rule_counts(flow_result.findings),
+        }
+        result = _merge_results(result, flow_result)
+
+    if args.stats is not None:
+        with open(args.stats, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, indent=2)
+            fh.write("\n")
+
+    if args.explain is not None:
+        return _explain(result, args.explain)
 
     if args.write_baseline is not None:
         write_baseline(args.write_baseline, result.findings)
@@ -137,3 +268,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     _emit(result, args.format)
     return 0 if result.ok else 1
+
+
+def _per_rule_counts(findings: List[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return counts

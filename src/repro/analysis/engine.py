@@ -150,6 +150,12 @@ class Engine:
                 f"{module_path}:{exc.lineno or 0}: syntax error: "
                 f"{exc.msg}")
             return result
+        except ValueError as exc:
+            # ast.parse raises bare ValueError for e.g. NUL bytes in
+            # the source; surface it as a parse error, never a crash.
+            result.parse_errors.append(
+                f"{module_path}:0: unparseable source: {exc}")
+            return result
         lines = source.splitlines()
         silenced = parse_suppressions(lines)
         raw: List[Finding] = []
@@ -187,6 +193,11 @@ class Engine:
             except OSError as exc:
                 merged.parse_errors.append(f"{filename}: unreadable: {exc}")
                 continue
+            except UnicodeDecodeError as exc:
+                merged.parse_errors.append(
+                    f"{normalize_path(filename)}:0: not valid UTF-8: "
+                    f"{exc.reason} at byte {exc.start}")
+                continue
             single = self.analyze_source(source, filename,
                                          baseline=baseline)
             merged.findings.extend(single.findings)
@@ -208,6 +219,35 @@ def _collect_files(paths: Iterable[str]) -> List[str]:
         elif path.suffix == ".py":
             files.append(str(path))
     return files
+
+
+def finalize_findings(raw: List[Finding],
+                      silenced_by_path: Dict[str, Dict[int, Set[str]]],
+                      baseline: Optional[Set[str]],
+                      result: AnalysisResult) -> None:
+    """Shared post-processing: occurrences, suppressions, baseline.
+
+    Used by both the per-file engine and the whole-program dataflow
+    driver so SPDR006–008 findings get byte-identical suppression and
+    ratchet mechanics to the AST rules.
+    """
+    raw = sorted(raw, key=lambda f: (f.path, f.line, f.column,
+                                     f.rule_id))
+    kept: List[Finding] = []
+    for finding in assign_occurrences(raw):
+        silenced = silenced_by_path.get(finding.path, {})
+        if is_suppressed(finding, silenced):
+            result.suppressed += 1
+        else:
+            kept.append(finding)
+    if baseline:
+        for finding in kept:
+            if finding.fingerprint() in baseline:
+                result.baselined += 1
+            else:
+                result.findings.append(finding)
+    else:
+        result.findings.extend(kept)
 
 
 # ----------------------------------------------------------------------

@@ -14,7 +14,15 @@ SPDR004    Obs naming: metric/span names written to the ``repro.obs``
            registry must be literals declared in ``repro.obs.names``.
 SPDR005    Wire-dataclass discipline: message dataclasses in wire
            modules declare ``frozen=True, slots=True``.
+SPDR007    Shared-memory discipline: every ``shared_memory`` block is
+           released on all paths, no ``buf`` access after ``close()``,
+           and ``Process`` targets are fork/spawn-safe module-level
+           functions.  (CFG-based, per file.)
 =========  ============================================================
+
+SPDR006 (privacy flow) and SPDR008 (exception hygiene) are
+whole-program dataflow rules and live in :mod:`repro.analysis.taint`;
+run them with ``python -m repro.analysis --engine dataflow``.
 """
 
 from __future__ import annotations
@@ -26,17 +34,19 @@ from .determinism import DeterminismRule
 from .crypto_hygiene import CryptoHygieneRule
 from .decoders import DecoderDisciplineRule
 from .obs_names import ObsNamingRule
+from .shared_memory import SharedMemoryRule
 from .wire_dataclasses import WireDataclassRule
 
 
 def all_rules() -> List[Rule]:
-    """Fresh instances of every registered rule, id-sorted."""
+    """Fresh instances of every registered per-file rule, id-sorted."""
     rules: List[Rule] = [
         DeterminismRule(),
         CryptoHygieneRule(),
         DecoderDisciplineRule(),
         ObsNamingRule(),
         WireDataclassRule(),
+        SharedMemoryRule(),
     ]
     return sorted(rules, key=lambda rule: rule.rule_id)
 
@@ -46,6 +56,7 @@ __all__ = [
     "CryptoHygieneRule",
     "DecoderDisciplineRule",
     "ObsNamingRule",
+    "SharedMemoryRule",
     "WireDataclassRule",
     "all_rules",
 ]

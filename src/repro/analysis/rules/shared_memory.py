@@ -1,0 +1,229 @@
+"""SPDR007 — shared-memory lifecycle and fork-safety discipline.
+
+``repro.mtt.pool`` keeps three ``multiprocessing.shared_memory`` blocks
+alive across commitment rounds; a leaked block survives the process
+(the kernel holds the name), a write after ``close()`` is a crash on
+some platforms and silent corruption on others, and a worker entry
+point that closes over parent state breaks under the spawn start
+method.  This rule makes those invariants static:
+
+* **release-on-all-paths** — a local bound to ``SharedMemory(...)``
+  must, on every path to function exit, either be closed/unlinked or
+  *escape* (assigned to an attribute/container, returned, or passed to
+  a call — ownership transfer to code that releases it later);
+* **no-use-after-close** — once ``v.close()`` runs on a path, any
+  access to ``v.buf`` on that path is flagged;
+* **fork-safe worker targets** — the ``target=`` of a ``Process(...)``
+  must be a module-level function, not a lambda or nested closure
+  (closures capture parent-process state the child cannot inherit
+  under spawn).
+
+The first two run a forward dataflow over the function CFG with a tiny
+status lattice {open, closed, escaped} per variable; the third is
+syntactic.  Scope: any module that imports ``shared_memory``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..cfg import Block, build_cfg
+from ..engine import Rule, RuleContext, terminal_name
+from ..dataflow import ForwardSolver, env_join, env_equals
+
+RULE_ID = "SPDR007"
+
+_OPEN = "open"
+_CLOSED = "closed"
+_ESCAPED = "escaped"
+
+_State = Dict[str, frozenset]  # type: ignore[type-arg]
+
+
+def _is_shm_create(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    return terminal_name(node.func) == "SharedMemory"
+
+
+class SharedMemoryRule(Rule):
+    rule_id = RULE_ID
+    title = "shared_memory blocks released on all paths; no " \
+            "write-after-close; fork-safe worker targets"
+
+    def applies_to(self, path: str) -> bool:
+        return path.endswith(".py")
+
+    def check(self, ctx: RuleContext) -> None:
+        source_imports_shm = any(
+            isinstance(node, (ast.Import, ast.ImportFrom)) and
+            self._imports_shared_memory(node)
+            for node in ast.walk(ctx.tree))
+        if not source_imports_shm:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(ctx, node)
+            if isinstance(node, ast.Call):
+                self._check_process_target(ctx, node)
+
+    @staticmethod
+    def _imports_shared_memory(node: ast.Import | ast.ImportFrom) -> bool:
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            return "shared_memory" in module or any(
+                alias.name == "shared_memory" for alias in node.names)
+        return any("shared_memory" in alias.name for alias in node.names)
+
+    # ------------------------------------------------------------------
+    # Fork-safety of Process targets
+
+    def _check_process_target(self, ctx: RuleContext,
+                              call: ast.Call) -> None:
+        if terminal_name(call.func) != "Process":
+            return
+        target: Optional[ast.expr] = None
+        for kw in call.keywords:
+            if kw.arg == "target":
+                target = kw.value
+        if target is None:
+            return
+        if isinstance(target, ast.Lambda):
+            ctx.report(self.rule_id, target,
+                       "Process target is a lambda; worker entry "
+                       "points must be module-level functions "
+                       "(spawn cannot pickle closures)")
+            return
+        name = terminal_name(target)
+        if name is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in ast.walk(node):
+                    if inner is node:
+                        continue
+                    if isinstance(inner, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)) and \
+                            inner.name == name:
+                        ctx.report(
+                            self.rule_id, target,
+                            f"Process target {name!r} is a nested "
+                            f"function; worker entry points must be "
+                            f"module-level (spawn cannot pickle "
+                            f"closures over parent state)")
+                        return
+
+    # ------------------------------------------------------------------
+    # Lifecycle dataflow
+
+    def _check_function(self, ctx: RuleContext,
+                        fn: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> None:
+        creations = self._creation_sites(fn)
+        if not creations:
+            return
+        cfg = build_cfg(fn)
+        solver: ForwardSolver[_State] = ForwardSolver(env_join,
+                                                      env_equals)
+        reported_uac: Set[Tuple[int, str]] = set()
+
+        def transfer(block: Block, state: _State) -> _State:
+            return self._transfer(block, state, ctx, reported_uac,
+                                  report=False)
+
+        inputs = solver.solve(cfg, transfer, init={}, bottom={})
+        # Collection sweep: use-after-close reports need stable inputs.
+        for bid in cfg.rpo():
+            self._transfer(cfg.blocks[bid], inputs[bid], ctx,
+                           reported_uac, report=True)
+        # Any variable that can still be open at exit leaks.
+        exit_state = inputs[cfg.exit]
+        for name, statuses in sorted(exit_state.items()):
+            if _OPEN in statuses:
+                node = creations.get(name)
+                if node is not None:
+                    ctx.report(
+                        self.rule_id, node,
+                        f"shared_memory block {name!r} may reach "
+                        f"function exit without close()/unlink() on "
+                        f"some path; release it in a finally block or "
+                        f"transfer ownership explicitly")
+
+    @staticmethod
+    def _creation_sites(fn: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> Dict[str, ast.AST]:
+        sites: Dict[str, ast.AST] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and \
+                    _is_shm_create(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        sites.setdefault(target.id, node)
+        return sites
+
+    def _transfer(self, block: Block, state_in: _State,
+                  ctx: RuleContext,
+                  reported_uac: Set[Tuple[int, str]],
+                  report: bool) -> _State:
+        state = dict(state_in)
+        for stmt in block.stmts:
+            self._transfer_stmt(stmt, state, ctx, reported_uac, report)
+        return state
+
+    def _transfer_stmt(self, stmt: ast.stmt, state: _State,
+                       ctx: RuleContext,
+                       reported_uac: Set[Tuple[int, str]],
+                       report: bool) -> None:
+        tracked: FrozenSet[str] = frozenset(state)
+        # Use-after-close and escapes are detected on every expression.
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Attribute) and \
+                    isinstance(node.value, ast.Name):
+                name = node.value.id
+                if node.attr == "buf" and name in state and \
+                        _CLOSED in state[name]:
+                    key = (node.lineno, name)
+                    if report and key not in reported_uac:
+                        reported_uac.add(key)
+                        ctx.report(
+                            self.rule_id, node,
+                            f"{name}.buf accessed after {name}."
+                            f"close(); the mapping is gone")
+            if isinstance(node, ast.Call):
+                self._transfer_call(node, state)
+        # Escapes: stored into attributes/containers, returned, passed.
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                for arg in node.args:
+                    self._escape(arg, state, tracked)
+                for kw in node.keywords:
+                    self._escape(kw.value, state, tracked)
+            elif isinstance(node, (ast.Tuple, ast.List, ast.Dict)):
+                for child in ast.iter_child_nodes(node):
+                    self._escape(child, state, tracked)
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and \
+                        _is_shm_create(value):
+                    state[target.id] = frozenset({_OPEN})
+                elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                    self._escape(value, state, tracked)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._escape(stmt.value, state, tracked)
+
+    @staticmethod
+    def _escape(node: ast.expr, state: _State,
+                tracked: FrozenSet[str]) -> None:
+        if isinstance(node, ast.Name) and node.id in tracked:
+            state[node.id] = frozenset({_ESCAPED})
+
+    @staticmethod
+    def _transfer_call(node: ast.Call, state: _State) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name):
+            name = func.value.id
+            if name in state and func.attr in ("close", "unlink"):
+                state[name] = frozenset({_CLOSED})

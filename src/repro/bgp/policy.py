@@ -179,7 +179,14 @@ def gao_rexford_policy(
     community_actions: Iterable[CommunityAction] = (),
     groups: Optional[Dict[int, Tuple[str, ...]]] = None,
 ) -> Tuple[ImportPolicy, ExportPolicy]:
-    """Build the matched import/export policy pair used in the evaluation."""
+    """Build the matched import/export policy pair used in the evaluation.
+
+    :spiderlint-contract: source(bgp-policy)
+
+    The returned policy objects hold the AS's private business
+    relationships (§4); spiderlint's SPDR006 treats them as tainted
+    until a decision is extracted via ``apply`` (the public verdict).
+    """
     groups = groups or {}
     neighbors = {
         asn: NeighborConfig(asn=asn, relation=rel,

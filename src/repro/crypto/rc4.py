@@ -126,9 +126,12 @@ class Rc4Csprng:
     def bitstring(self) -> bytes:
         """Return one blinding bitstring.
 
+        :spiderlint-contract: source(commit-randomness)
+
         Per Section 5.3, all random bitstrings must have the same length as
         a hash value so that dummy labels are indistinguishable from real
-        Merkle labels.
+        Merkle labels.  The bitstring is private until it enters a bit
+        commitment ``H(b||x)`` or is selectively revealed by a proof.
         """
         pos = self._pos
         end = pos + DIGEST_SIZE
@@ -139,6 +142,8 @@ class Rc4Csprng:
 
     def bitstrings(self, n: int) -> List[bytes]:
         """Return ``n`` consecutive bitstrings in one buffered draw.
+
+        :spiderlint-contract: source(commit-randomness)
 
         Equivalent to ``[self.bitstring() for _ in range(n)]`` but pays
         the keystream-generation cost once — the labeling pass uses this

@@ -103,6 +103,12 @@ def _assign_randomness_fast(tree: Mtt,
 def compute_label(node: MttNode) -> bytes:
     """Compute (and cache) the Merkle label of a subtree.
 
+    :spiderlint-contract: declassifier(merkle-label)
+
+    Labels are hiding (§5.3): a label reveals neither the bit nor the
+    blinding beneath it, so spiderlint treats this construction as a
+    sanctioned declassifier for taint that flows into it.
+
     Generic iterative post-order traversal, used for arbitrary subtrees
     (model cross-checks and tests).  Whole-tree labeling goes through
     :func:`label_tree`, which runs over the flattened schedule instead.

@@ -62,7 +62,17 @@ def next_instance_id(prefix: str) -> str:
 
 
 class Registry:
-    """A named collection of counters, gauges, histograms, and spans."""
+    """A named collection of counters, gauges, histograms, and spans.
+
+    Privacy model: label *values* passed to ``counter``/``gauge``/
+    ``histogram``/``span`` are exported verbatim by the JSON and
+    Prometheus dumps, so they are the ``obs-label`` public sink of
+    spiderlint's SPDR006 (declared centrally in
+    ``repro.analysis.contracts``): a policy internal, CSPRNG seed,
+    blinding bitstring, or private key must never be used as a label
+    value unless it first passed a commitment/proof/signature
+    declassifier.
+    """
 
     def __init__(self, max_spans: int = MAX_SPANS):
         self._lock = threading.Lock()

@@ -540,7 +540,14 @@ _DECODERS: Dict[int, Callable[[_Reader], object]] = {
 
 
 def encode_message(message: object) -> bytes:
-    """Serialize one SPIDeR wire message (version byte included)."""
+    """Serialize one SPIDeR wire message (version byte included).
+
+    :spiderlint-contract: sink(codec-encode)
+
+    Everything encoded here leaves the node, so SPDR006 requires any
+    private input (policy, seeds, blinding, keys) to have passed a
+    commitment/proof/signature declassifier first.
+    """
     for klass, tag, encoder in _ENCODERS:
         if isinstance(message, klass):
             w = _Writer()

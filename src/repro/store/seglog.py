@@ -201,7 +201,15 @@ class SegmentedLogStore:
     # The LogSink protocol
 
     def append(self, entry: LogEntry) -> None:
-        """Persist one entry (the log calls this before exposing it)."""
+        """Persist one entry (the log calls this before exposing it).
+
+        Privacy model: this is the ``store-append`` public sink of
+        spiderlint's SPDR006 (declared centrally in
+        ``repro.analysis.contracts`` — the bare name ``append`` is too
+        generic for a docstring marker).  The only raw secret sanctioned
+        to land here is the §6.5 per-commitment seed entry, which the
+        recorder keeps in its own trusted storage.
+        """
         if self.last_index is not None and \
                 entry.index != self.last_index + 1:
             raise StoreError(

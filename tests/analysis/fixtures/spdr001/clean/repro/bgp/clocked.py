@@ -1,0 +1,16 @@
+"""SPDR001 clean fixture #2: clock and RNG are injected, never ambient.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+import random
+
+
+def decision_stamp(clock):
+    return clock.now()
+
+
+def jitter(routes, seed):
+    rng = random.Random(seed)
+    rng.shuffle(routes)
+    return routes

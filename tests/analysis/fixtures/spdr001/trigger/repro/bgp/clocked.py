@@ -1,0 +1,16 @@
+"""SPDR001 trigger fixture #2: ambient clock + global RNG in bgp code.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+import random
+import time
+
+
+def decision_stamp():
+    return time.time()
+
+
+def jitter(routes):
+    random.shuffle(routes)
+    return routes

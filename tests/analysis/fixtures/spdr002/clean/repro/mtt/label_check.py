@@ -1,0 +1,12 @@
+"""SPDR002 clean fixture #2: non-secret comparisons stay bare.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+
+def depths_match(left, right):
+    return left.depth == right.depth
+
+
+def counts_differ(old_count, new_count):
+    return old_count != new_count

@@ -1,0 +1,12 @@
+"""SPDR002 trigger fixture #2: bare equality on label/digest material.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+
+def roots_match(left, right):
+    return left.root_label == right.root_label
+
+
+def digest_changed(old_digest, new_digest):
+    return old_digest != new_digest

@@ -1,0 +1,21 @@
+"""SPDR003 clean fixture #2: store decoders that fail closed.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+import struct
+
+
+def decode_header(data):
+    if len(data) < 2:
+        raise ValueError("truncated header")
+    return data[0], data[1]
+
+
+def read_length(buf):
+    if len(buf) < 4:
+        raise ValueError("short length field")
+    try:
+        return struct.unpack(">I", buf[:4])
+    except struct.error as exc:
+        raise ValueError("malformed length") from exc

@@ -1,0 +1,9 @@
+"""SPDR003 suppressed fixture: a decoder over pre-validated input.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+
+def decode_kind(data):
+    # spiderlint: disable=SPDR003
+    return data[0]

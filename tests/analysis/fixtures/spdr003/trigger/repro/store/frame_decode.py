@@ -1,0 +1,14 @@
+"""SPDR003 trigger fixture #2: store decoders that leak exceptions.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+import struct
+
+
+def decode_header(data):
+    return data[0], data[1]
+
+
+def read_length(buf):
+    return struct.unpack(">I", buf)

@@ -1,0 +1,11 @@
+"""SPDR004 clean fixture #2: names resolved from the catalogue.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+from ..obs import names
+
+
+def record(registry):
+    registry.gauge(names.SIGN_SECONDS).set(0.1)
+    registry.counter("spider_alarms_total").inc()

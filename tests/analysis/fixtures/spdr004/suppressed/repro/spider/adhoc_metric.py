@@ -1,0 +1,8 @@
+"""SPDR004 suppressed fixture: an ad-hoc metric name silenced in place.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+
+def record(registry):
+    registry.counter("oneoff_total").inc()  # spiderlint: disable=SPDR004

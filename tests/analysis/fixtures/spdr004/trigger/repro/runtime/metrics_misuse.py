@@ -1,0 +1,9 @@
+"""SPDR004 trigger fixture #2: invented metric names in runtime code.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+
+def record(registry, peer):
+    registry.gauge("improvised_depth").set(1)
+    registry.span("trace_" + peer).start()

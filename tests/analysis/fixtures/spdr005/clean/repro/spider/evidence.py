@@ -1,0 +1,12 @@
+"""SPDR005 clean fixture #2: compliant evidence dataclasses.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class EvidenceRecord:
+    index: int
+    digest: bytes

@@ -1,0 +1,11 @@
+"""SPDR005 suppressed fixture: a mutable proof type silenced in place.
+
+This file is parsed by the lint self-tests, never imported.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DraftProof:  # spiderlint: disable=SPDR005
+    siblings: list

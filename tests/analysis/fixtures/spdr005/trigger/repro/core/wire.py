@@ -1,0 +1,18 @@
+"""SPDR005 trigger fixture #2: core wire dataclasses missing flags.
+
+This file is parsed by the lint self-tests, never imported; its path
+places it in the wire-module scope of the rule.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CoreEnvelope:
+    sender: int
+    body: bytes
+
+
+@dataclass(slots=True)
+class CoreAck:
+    sender: int

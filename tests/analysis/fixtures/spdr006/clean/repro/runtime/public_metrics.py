@@ -1,0 +1,14 @@
+"""SPDR006 clean fixture #2: only public identity attrs reach labels.
+
+``identity.asn`` is public routing data even though ``identity`` also
+carries the private key; the obs label stays clean.  Parsed by the
+taint self-tests, never imported.
+"""
+
+from repro.crypto.keys import make_identity
+from repro.obs.registry import get_registry
+
+
+def record_node(asn: int) -> None:
+    identity = make_identity(asn)
+    get_registry().gauge("node_up", node=f"as{identity.asn}").set(1)

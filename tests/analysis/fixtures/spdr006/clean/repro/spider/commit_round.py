@@ -1,0 +1,18 @@
+"""SPDR006 clean fixture: randomness is declassified before the sink.
+
+The blinding bitstring passes through ``bit_commitment`` (a declared
+declassifier: H(b||x) hides both inputs) before the log append, so the
+flow is sanctioned by construction.  Parsed by the taint self-tests,
+never imported.
+"""
+
+from repro.crypto.hashing import bit_commitment
+from repro.crypto.rc4 import Rc4Csprng
+
+
+def commit_bit(log, bit: int, seed: bytes) -> bytes:
+    rng = Rc4Csprng(seed)
+    blinding = rng.bitstring(20)
+    label = bit_commitment(bit, blinding)
+    log.append({"label": label})
+    return label

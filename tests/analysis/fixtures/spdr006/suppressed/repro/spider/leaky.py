@@ -1,0 +1,19 @@
+"""SPDR006 suppressed fixture: the same leak, silenced at the sink.
+
+Findings anchor at the sink line, so that is where the suppression
+comment must sit.  Parsed by the taint self-tests, never imported.
+"""
+
+from repro.crypto.rc4 import Rc4Csprng
+from repro.obs.registry import get_registry
+
+
+def derive_tag(seed: bytes) -> str:
+    rng = Rc4Csprng(seed)
+    return rng.seed.hex()
+
+
+def record_round(seed: bytes) -> None:
+    tag = derive_tag(seed)
+    # spiderlint: disable=SPDR006
+    get_registry().counter("rounds_total", tag=tag).inc()

@@ -1,0 +1,20 @@
+"""SPDR006 trigger fixture: the CSPRNG seed reaches an obs label.
+
+This is the issue's seeded violation: ``Rc4Csprng`` seed bytes routed
+into a metric label through an intermediate helper, with no
+declassifier on the path.  Parsed by the taint self-tests, never
+imported.
+"""
+
+from repro.crypto.rc4 import Rc4Csprng
+from repro.obs.registry import get_registry
+
+
+def derive_tag(seed: bytes) -> str:
+    rng = Rc4Csprng(seed)
+    return rng.seed.hex()
+
+
+def record_round(seed: bytes) -> None:
+    tag = derive_tag(seed)
+    get_registry().counter("rounds_total", tag=tag).inc()

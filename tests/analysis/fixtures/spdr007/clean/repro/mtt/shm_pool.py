@@ -1,0 +1,36 @@
+"""SPDR007 clean fixture: disciplined shared-memory lifecycles.
+
+Parsed by the lint self-tests, never imported.
+"""
+
+from multiprocessing import Process
+from multiprocessing import shared_memory
+
+
+def _worker(name):
+    view = shared_memory.SharedMemory(name=name)
+    try:
+        view.buf[0] = 1
+    finally:
+        view.close()
+
+
+def bounded_round(size):
+    block = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        block.buf[0] = 1
+    finally:
+        block.close()
+        block.unlink()
+
+
+def pooled_block(pool, size):
+    block = shared_memory.SharedMemory(create=True, size=size)
+    pool.adopt(block)  # ownership transfer: the pool releases it
+    return None
+
+
+def spawn_worker(name):
+    child = Process(target=_worker, args=(name,))
+    child.start()
+    return child

@@ -1,0 +1,11 @@
+"""SPDR007 clean fixture #2: a factory hands its block to the caller.
+
+Parsed by the lint self-tests, never imported.
+"""
+
+from multiprocessing import shared_memory
+
+
+def open_block(size):
+    block = shared_memory.SharedMemory(create=True, size=size)
+    return block

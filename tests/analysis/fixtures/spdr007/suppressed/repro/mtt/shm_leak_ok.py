@@ -1,0 +1,13 @@
+"""SPDR007 suppressed fixture: a deliberate process-lifetime block.
+
+Parsed by the lint self-tests, never imported.
+"""
+
+from multiprocessing import shared_memory
+
+
+def persistent_block(size):
+    # spiderlint: disable=SPDR007
+    block = shared_memory.SharedMemory(create=True, size=size)
+    block.buf[0] = 1
+    return None

@@ -1,0 +1,30 @@
+"""SPDR007 trigger fixture: shared-memory lifecycle violations.
+
+Parsed by the lint self-tests, never imported.
+"""
+
+from multiprocessing import Process
+from multiprocessing import shared_memory
+
+
+def leaky_round(size):
+    block = shared_memory.SharedMemory(create=True, size=size)
+    block.buf[0] = 1
+    if size > 4096:
+        return None  # leaks: block never closed on this path
+    block.close()
+    block.unlink()
+    return None
+
+
+def stale_write(size):
+    block = shared_memory.SharedMemory(create=True, size=size)
+    block.close()
+    block.buf[0] = 1  # use after close
+    block.unlink()
+
+
+def spawn_worker(size):
+    worker = Process(target=lambda: None)
+    worker.start()
+    return worker

@@ -1,0 +1,17 @@
+"""SPDR007 trigger fixture #2: a nested-closure worker entry point.
+
+Parsed by the lint self-tests, never imported.
+"""
+
+from multiprocessing import Process
+from multiprocessing import shared_memory
+
+
+def launch(block_name):
+    def worker():
+        view = shared_memory.SharedMemory(name=block_name)
+        view.close()
+
+    child = Process(target=worker)
+    child.start()
+    return child

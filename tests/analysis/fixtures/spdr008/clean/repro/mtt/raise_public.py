@@ -1,0 +1,9 @@
+"""SPDR008 clean fixture #2: public structure in exception text.
+
+Parsed by the taint self-tests, never imported.
+"""
+
+
+def check_depth(depth: int, limit: int) -> None:
+    if depth > limit:
+        raise ValueError(f"tree depth {depth} exceeds limit {limit}")

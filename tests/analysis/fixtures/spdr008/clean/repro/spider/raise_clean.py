@@ -1,0 +1,22 @@
+"""SPDR008 clean fixture: exceptions carry no secret material.
+
+Static messages, public values, and digest-declassified values are all
+fine to interpolate.  Parsed by the taint self-tests, never imported.
+"""
+
+from repro.crypto.hashing import digest
+from repro.crypto.rc4 import Rc4Csprng
+
+
+def check_seed(seed: bytes) -> None:
+    rng = Rc4Csprng(seed)
+    if len(seed) != 20:
+        raise ValueError("seed must be exactly 20 bytes")
+    del rng
+
+
+def check_commitment(seed: bytes, expected: bytes) -> None:
+    rng = Rc4Csprng(seed)
+    fingerprint = digest(rng.seed)
+    if fingerprint != expected:
+        raise ValueError(f"commitment mismatch: {fingerprint.hex()}")

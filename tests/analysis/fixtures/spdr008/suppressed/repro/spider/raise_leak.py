@@ -1,0 +1,13 @@
+"""SPDR008 suppressed fixture: the same leak, silenced at the raise.
+
+Parsed by the taint self-tests, never imported.
+"""
+
+from repro.crypto.rc4 import Rc4Csprng
+
+
+def check_seed(seed: bytes) -> None:
+    rng = Rc4Csprng(seed)
+    if len(seed) != 20:
+        # spiderlint: disable=SPDR008
+        raise ValueError(f"bad seed {rng.seed.hex()}")

@@ -1,0 +1,10 @@
+"""SPDR008 trigger fixture #2: .format() leaking node randomness.
+
+Parsed by the taint self-tests, never imported.
+"""
+
+
+def check_node(node) -> None:
+    if node.blinding is None:
+        return
+    raise RuntimeError("stale blinding {}".format(node.blinding))

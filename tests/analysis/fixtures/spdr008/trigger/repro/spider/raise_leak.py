@@ -1,0 +1,19 @@
+"""SPDR008 trigger fixture: secret material in exception text.
+
+Parsed by the taint self-tests, never imported.
+"""
+
+from repro.crypto.rc4 import Rc4Csprng
+
+
+def check_seed(seed: bytes) -> None:
+    rng = Rc4Csprng(seed)
+    if len(seed) != 20:
+        raise ValueError(f"bad seed {rng.seed.hex()}")
+
+
+def check_blinding(seed: bytes, expected: int) -> None:
+    rng = Rc4Csprng(seed)
+    blinding = rng.bitstring(20)
+    if len(blinding) != expected:
+        raise ValueError("bad blinding %r" % blinding)

@@ -1,0 +1,183 @@
+"""Program index and call-resolution heuristics."""
+
+import ast
+
+from repro.analysis.callgraph import (Program, collect_sources,
+                                      load_program, source_tree_digest)
+
+MAIN = '''\
+"""Module under test."""
+
+from repro.helpers.util import transform
+from .sibling import local_thing
+from ..crypto.rc4 import Rc4Csprng
+
+
+def top(x):
+    return helper(x)
+
+
+def helper(x):
+    """Helps.
+
+    :spiderlint-contract: declassifier(helper)
+    """
+    return transform(x)
+
+
+class Widget:
+
+    def __init__(self, x):
+        self.x = x
+
+    def run_once(self):
+        return self.refresh()
+
+    def refresh(self):
+        return self.x
+'''
+
+UTIL = '''\
+def transform(x):
+    return x + 1
+'''
+
+SIBLING = '''\
+def local_thing():
+    return 7
+'''
+
+
+def _program():
+    return Program.from_sources([
+        ("repro/helpers/main.py", MAIN),
+        ("repro/helpers/util.py", UTIL),
+        ("repro/helpers/sibling.py", SIBLING),
+    ])
+
+
+def _call(source: str) -> ast.Call:
+    expr = ast.parse(source).body[0]
+    assert isinstance(expr, ast.Expr)
+    assert isinstance(expr.value, ast.Call)
+    return expr.value
+
+
+def test_functions_are_indexed_with_qualnames():
+    program = _program()
+    assert "repro/helpers/main.py::top" in program.functions
+    assert "repro/helpers/main.py::Widget.run_once" in program.functions
+    info = program.functions["repro/helpers/main.py::Widget.__init__"]
+    assert info.cls == "Widget"
+    assert info.params == ("self", "x")
+
+
+def test_same_module_call_resolves():
+    program = _program()
+    caller = program.functions["repro/helpers/main.py::top"]
+    targets = program.resolve_call(_call("helper(x)"), caller)
+    assert [t.qualname for t in targets] == \
+        ["repro/helpers/main.py::helper"]
+
+
+def test_imported_call_resolves_across_modules():
+    program = _program()
+    caller = program.functions["repro/helpers/main.py::helper"]
+    targets = program.resolve_call(_call("transform(x)"), caller)
+    assert [t.qualname for t in targets] == \
+        ["repro/helpers/util.py::transform"]
+
+
+def test_relative_import_resolves():
+    program = _program()
+    caller = program.functions["repro/helpers/main.py::top"]
+    targets = program.resolve_call(_call("local_thing()"), caller)
+    assert [t.qualname for t in targets] == \
+        ["repro/helpers/sibling.py::local_thing"]
+
+
+def test_self_call_resolves_within_class():
+    program = _program()
+    caller = program.functions["repro/helpers/main.py::Widget.run_once"]
+    targets = program.resolve_call(_call("self.refresh()"), caller)
+    assert [t.qualname for t in targets] == \
+        ["repro/helpers/main.py::Widget.refresh"]
+
+
+def test_constructor_resolves_to_init():
+    program = _program()
+    caller = program.functions["repro/helpers/main.py::top"]
+    targets = program.resolve_call(_call("Widget(x)"), caller)
+    assert [t.qualname for t in targets] == \
+        ["repro/helpers/main.py::Widget.__init__"]
+
+
+def test_common_method_names_stay_unresolved():
+    program = _program()
+    caller = program.functions["repro/helpers/main.py::top"]
+    assert program.resolve_call(_call("thing.append(x)"), caller) == []
+
+
+def test_doc_markers_are_harvested():
+    program = _program()
+    markers = program.doc_markers()
+    assert [(m.kind, m.arg) for m in markers] == \
+        [("declassifier", "helper")]
+    assert markers[0].qualname == "repro/helpers/main.py::helper"
+
+
+def test_parse_errors_are_collected_not_raised():
+    program = Program.from_sources([
+        ("repro/helpers/broken.py", "def broken(:\n")])
+    assert program.modules == {}
+    assert len(program.parse_errors) == 1
+    assert "parse error" in program.parse_errors[0]
+
+
+# ----------------------------------------------------------------------
+# Source digest and pickle cache
+
+
+def test_source_tree_digest_is_order_independent():
+    forward = [("a.py", "x = 1"), ("b.py", "y = 2")]
+    assert source_tree_digest(forward) == \
+        source_tree_digest(list(reversed(forward)))
+    assert source_tree_digest(forward) != \
+        source_tree_digest([("a.py", "x = 9"), ("b.py", "y = 2")])
+
+
+def test_load_program_populates_and_reuses_cache(tmp_path):
+    src = tmp_path / "repro" / "helpers"
+    src.mkdir(parents=True)
+    (src / "mod.py").write_text("def f(x):\n    return x\n")
+    cache = tmp_path / "cache"
+
+    first = load_program([str(tmp_path)], cache_dir=str(cache))
+    assert "repro/helpers/mod.py::f" in first.functions
+    pickles = list(cache.glob("program-*.pickle"))
+    assert len(pickles) == 1
+
+    # Second load hits the cache (same digest, same contents).
+    again = load_program([str(tmp_path)], cache_dir=str(cache))
+    assert set(again.functions) == set(first.functions)
+    assert list(cache.glob("program-*.pickle")) == pickles
+
+    # Editing a file changes the digest: a new cache entry appears.
+    (src / "mod.py").write_text("def g(x):\n    return x\n")
+    third = load_program([str(tmp_path)], cache_dir=str(cache))
+    assert "repro/helpers/mod.py::g" in third.functions
+    assert len(list(cache.glob("program-*.pickle"))) == 2
+
+
+def test_corrupt_cache_entry_is_rebuilt(tmp_path):
+    src = tmp_path / "repro"
+    src.mkdir()
+    (src / "mod.py").write_text("def f(x):\n    return x\n")
+    cache = tmp_path / "cache"
+    sources = collect_sources([str(tmp_path)])
+    digest = source_tree_digest(sources)
+    cache.mkdir()
+    bad = cache / f"program-{digest[:24]}.pickle"
+    bad.write_bytes(b"not a pickle")
+    program = load_program([str(tmp_path)], cache_dir=str(cache))
+    assert "repro/mod.py::f" in program.functions

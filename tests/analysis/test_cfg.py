@@ -1,0 +1,111 @@
+"""CFG builder mechanics: block structure, edges, traversal orders."""
+
+import ast
+
+from repro.analysis.cfg import build_cfg, build_cfg_for_body
+
+
+def _cfg(source: str):
+    tree = ast.parse(source)
+    fn = tree.body[0]
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(fn)
+
+
+def _reachable(cfg):
+    seen = {cfg.entry}
+    stack = [cfg.entry]
+    while stack:
+        for succ in cfg.blocks[stack.pop()].succs:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def test_straight_line_single_path():
+    cfg = _cfg("def f(x):\n    y = x\n    return y\n")
+    assert cfg.exit in _reachable(cfg)
+
+
+def test_if_else_joins_before_exit():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    if x:\n"
+        "        y = 1\n"
+        "    else:\n"
+        "        y = 2\n"
+        "    return y\n")
+    reachable = _reachable(cfg)
+    assert cfg.exit in reachable
+    # Both branch bodies exist as separate blocks.
+    bodies = [b for b in cfg.blocks.values()
+              if any(isinstance(s, ast.Assign) for s in b.stmts)]
+    assert len(bodies) == 2
+
+
+def test_while_has_back_edge():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    while x:\n"
+        "        x = x - 1\n"
+        "    return x\n")
+    preds = cfg.preds()
+    # Some block has two predecessors: loop entry joins the back edge.
+    assert any(len(p) >= 2 for p in preds.values())
+    assert cfg.exit in _reachable(cfg)
+
+
+def test_early_return_reaches_exit_directly():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    if x:\n"
+        "        return 1\n"
+        "    return 2\n")
+    exit_preds = cfg.preds()[cfg.exit]
+    assert len(exit_preds) >= 2  # both returns edge to exit
+
+
+def test_try_body_edges_into_handler():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    try:\n"
+        "        y = risky(x)\n"
+        "    except ValueError as exc:\n"
+        "        y = 0\n"
+        "    return y\n")
+    reachable = _reachable(cfg)
+    # The handler block carries the ExceptHandler (it binds `exc`) and
+    # is reachable from inside the try body.
+    handler_blocks = [
+        bid for bid, block in cfg.blocks.items()
+        if any(isinstance(s, ast.ExceptHandler) for s in block.stmts)]
+    assert handler_blocks
+    assert all(bid in reachable for bid in handler_blocks)
+    body_blocks = [
+        block for block in cfg.blocks.values()
+        if any(isinstance(s, ast.Assign) and
+               isinstance(s.value, ast.Call) for s in block.stmts)]
+    assert body_blocks
+    assert any(hid in body_blocks[0].succs for hid in handler_blocks)
+    assert cfg.exit in reachable
+
+
+def test_rpo_starts_at_entry_and_covers_reachable_blocks():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    for i in x:\n"
+        "        if i:\n"
+        "            continue\n"
+        "        break\n"
+        "    return x\n")
+    order = cfg.rpo()
+    assert order[0] == cfg.entry
+    assert set(order) == _reachable(cfg)
+    assert len(order) == len(set(order))
+
+
+def test_module_body_cfg():
+    tree = ast.parse("x = 1\nif x:\n    y = 2\n")
+    cfg = build_cfg_for_body(tree.body)
+    assert cfg.exit in _reachable(cfg)

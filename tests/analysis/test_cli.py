@@ -2,7 +2,10 @@
 
 These drive :func:`repro.analysis.cli.main` in-process with the same
 argv CI uses, covering the acceptance criteria: exit 0 on the repo's
-own ``src`` tree, non-zero on every rule's trigger fixture.
+own ``src`` tree under both engines, non-zero on every rule's trigger
+fixture, and the new PR-10 surface — ``--engine``, ``--stats``,
+``--explain``, ``--migrate-baseline``, and non-crashing parse-error
+reporting.
 """
 
 import json
@@ -16,11 +19,31 @@ from repro.analysis.cli import main
 HERE = Path(__file__).parent
 FIXTURES = HERE / "fixtures"
 REPO = HERE.parents[1]
-RULE_IDS = ("SPDR001", "SPDR002", "SPDR003", "SPDR004", "SPDR005")
+LINT_RULES = ("SPDR001", "SPDR002", "SPDR003", "SPDR004", "SPDR005",
+              "SPDR007")
+FLOW_RULES = ("SPDR006", "SPDR008")
 
 
 def test_repo_src_is_clean():
     assert main([str(REPO / "src")]) == 0
+
+
+def test_repo_src_is_clean_under_dataflow(tmp_path):
+    cache = tmp_path / "cache"
+    argv = [str(REPO / "src"), "--engine", "dataflow",
+            "--cache-dir", str(cache)]
+    assert main(argv) == 0
+    # A second run hits the pickled program cache and must agree.
+    assert any(cache.iterdir())
+    assert main(argv) == 0
+
+
+def test_repo_benchmarks_and_examples_are_clean():
+    # The ratchet covers the whole repo, not just src/ (PR-10
+    # satellite); suppressions in those trees are allowed, findings
+    # are not.
+    assert main([str(REPO / "benchmarks"), str(REPO / "examples"),
+                 "--engine", "all", "--no-cache"]) == 0
 
 
 def test_repo_src_is_clean_under_committed_baseline():
@@ -29,28 +52,63 @@ def test_repo_src_is_clean_under_committed_baseline():
     assert main([str(REPO / "src"), "--baseline", str(baseline)]) == 0
 
 
-def test_committed_baseline_is_empty():
-    # All pre-existing findings were fixed in this PR; the ratchet
-    # starts at zero and may only stay there.
+def test_committed_baseline_is_empty_and_v2():
+    # All pre-existing findings were fixed; the ratchet starts at zero
+    # and may only stay there.  The file must use fingerprint schema
+    # v2 (path, rule, snippet-hash) — v1 files are rejected.
     assert load_baseline(str(REPO / "analysis-baseline.json")) == set()
 
 
-@pytest.mark.parametrize("rule_id", RULE_IDS)
+@pytest.mark.parametrize("rule_id", LINT_RULES)
 def test_trigger_fixture_exits_nonzero(rule_id):
     target = FIXTURES / rule_id.lower() / "trigger"
     assert main([str(target)]) == 1
 
 
-@pytest.mark.parametrize("rule_id", RULE_IDS)
+@pytest.mark.parametrize("rule_id", LINT_RULES)
 def test_clean_fixture_exits_zero(rule_id):
     target = FIXTURES / rule_id.lower() / "clean"
     assert main([str(target)]) == 0
 
 
+@pytest.mark.parametrize("rule_id", FLOW_RULES)
+def test_dataflow_trigger_fixture_exits_nonzero(rule_id, capsys):
+    target = FIXTURES / rule_id.lower() / "trigger"
+    assert main([str(target), "--engine", "dataflow",
+                 "--no-cache"]) == 1
+    # The lint engine alone does not see whole-program flows (the
+    # fixture may still trip per-file rules, e.g. SPDR004 on an
+    # undeclared metric name).
+    capsys.readouterr()
+    main([str(target), "--format", "json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rule_id not in {f["rule"] for f in doc["findings"]}
+
+
+@pytest.mark.parametrize("rule_id", FLOW_RULES)
+def test_dataflow_clean_fixture_exits_zero(rule_id):
+    target = FIXTURES / rule_id.lower() / "clean"
+    assert main([str(target), "--engine", "dataflow",
+                 "--no-cache"]) == 0
+
+
+def test_engine_all_merges_both_rule_families(capsys):
+    # One run over a lint trigger and a dataflow trigger with
+    # --engine all reports findings from both families.
+    lint = FIXTURES / "spdr001" / "trigger"
+    flow = FIXTURES / "spdr006" / "trigger"
+    assert main([str(lint), str(flow), "--engine", "all",
+                 "--no-cache", "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    rules = {f["rule"] for f in doc["findings"]}
+    assert "SPDR001" in rules
+    assert "SPDR006" in rules
+
+
 def test_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in RULE_IDS:
+    for rule_id in LINT_RULES + FLOW_RULES:
         assert rule_id in out
 
 
@@ -71,13 +129,77 @@ def test_json_output_shape(capsys):
     target = FIXTURES / "spdr002" / "trigger"
     assert main([str(target), "--format", "json"]) == 1
     doc = json.loads(capsys.readouterr().out)
-    assert doc["files_analyzed"] == 1
+    assert doc["files_analyzed"] == 2
     assert doc["parse_errors"] == []
-    assert len(doc["findings"]) == 2
+    assert len(doc["findings"]) == 4
     for finding in doc["findings"]:
         assert set(finding) == {"rule", "path", "line", "column",
-                                "message", "fingerprint"}
+                                "message", "fingerprint", "trace"}
         assert finding["rule"] == "SPDR002"
+        assert finding["trace"] == []
+
+
+def test_json_dataflow_findings_carry_traces(capsys):
+    target = FIXTURES / "spdr006" / "trigger"
+    assert main([str(target), "--engine", "dataflow", "--no-cache",
+                 "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["findings"], "trigger fixture must produce findings"
+    for finding in doc["findings"]:
+        assert finding["rule"] == "SPDR006"
+        assert finding["trace"], "SPDR006 findings must carry a trace"
+
+
+def test_parse_error_exits_nonzero_not_crash(tmp_path, capsys):
+    # PR-10 satellite: a file that fails ast.parse becomes a reported
+    # parse-error finding and a non-zero exit, not a traceback.
+    broken = tmp_path / "repro" / "spider" / "broken.py"
+    broken.parent.mkdir(parents=True)
+    broken.write_text("def truncated(:\n", encoding="utf-8")
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "syntax error" in out
+    assert "broken.py" in out
+
+
+def test_parse_error_exits_nonzero_under_dataflow(tmp_path):
+    broken = tmp_path / "repro" / "spider" / "broken.py"
+    broken.parent.mkdir(parents=True)
+    broken.write_text("class Unclosed(\n", encoding="utf-8")
+    assert main([str(tmp_path), "--engine", "dataflow",
+                 "--no-cache"]) == 1
+
+
+def test_stats_flag_writes_per_rule_json(tmp_path):
+    stats_file = tmp_path / "stats.json"
+    target = FIXTURES / "spdr006" / "trigger"
+    assert main([str(target), "--engine", "all", "--no-cache",
+                 "--stats", str(stats_file)]) == 1
+    doc = json.loads(stats_file.read_text(encoding="utf-8"))
+    assert doc["engine"] == "all"
+    assert doc["lint"]["seconds"] >= 0.0
+    assert doc["lint"]["files"] >= 1
+    assert doc["dataflow"]["seconds"] >= 0.0
+    assert doc["dataflow"]["functions"] >= 2
+    assert doc["dataflow"]["findings"].get("SPDR006", 0) >= 1
+
+
+def test_explain_prints_path_trace(capsys):
+    target = FIXTURES / "spdr006" / "trigger"
+    assert main([str(target), "--engine", "dataflow", "--no-cache",
+                 "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    fingerprint = doc["findings"][0]["fingerprint"]
+    assert main([str(target), "--engine", "dataflow", "--no-cache",
+                 "--explain", fingerprint]) == 0
+    out = capsys.readouterr().out
+    assert "path trace (source -> sink)" in out
+
+
+def test_explain_unknown_fingerprint_exits_2():
+    target = FIXTURES / "spdr006" / "clean"
+    assert main([str(target), "--engine", "dataflow", "--no-cache",
+                 "--explain", "deadbeefdeadbeef"]) == 2
 
 
 def test_write_baseline_then_lint_against_it(tmp_path):
@@ -90,6 +212,23 @@ def test_write_baseline_then_lint_against_it(tmp_path):
     assert main([str(target)]) == 1
 
 
+def test_migrate_baseline_cli(tmp_path, capsys):
+    # A v1 file is rejected by --baseline with a migration hint, and
+    # --migrate-baseline rewrites it so the same run passes.
+    target = FIXTURES / "spdr004" / "trigger"
+    v2 = tmp_path / "v2.json"
+    assert main([str(target), "--write-baseline", str(v2)]) == 0
+    doc = json.loads(v2.read_text(encoding="utf-8"))
+    v1 = tmp_path / "v1.json"
+    v1.write_text(json.dumps({"version": 1,
+                              "findings": doc["findings"]}),
+                  encoding="utf-8")
+    assert main([str(target), "--baseline", str(v1)]) == 2
+    assert "--migrate-baseline" in capsys.readouterr().err
+    assert main(["--migrate-baseline", str(v1)]) == 0
+    assert main([str(target), "--baseline", str(v1)]) == 0
+
+
 def test_check_shrunk_exit_codes(tmp_path):
     target = FIXTURES / "spdr004" / "trigger"
     full = tmp_path / "full.json"
@@ -100,16 +239,3 @@ def test_check_shrunk_exit_codes(tmp_path):
     assert main(["--check-shrunk", str(full), str(empty)]) == 0
     assert main(["--check-shrunk", str(full), str(full)]) == 0
     assert main(["--check-shrunk", str(empty), str(full)]) == 1
-
-
-def test_check_shrunk_malformed_baseline_is_usage_error(tmp_path):
-    bad = tmp_path / "bad.json"
-    bad.write_text("[]")
-    good = tmp_path / "good.json"
-    write_baseline(str(good), [])
-    assert main(["--check-shrunk", str(bad), str(good)]) == 2
-
-
-def test_missing_baseline_is_usage_error(tmp_path):
-    assert main([str(FIXTURES / "spdr001" / "clean"),
-                 "--baseline", str(tmp_path / "absent.json")]) == 2

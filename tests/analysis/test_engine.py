@@ -6,8 +6,10 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import Engine, all_rules, load_baseline, write_baseline
-from repro.analysis.baseline import BaselineError, check_shrunk
+from repro.analysis.baseline import (BaselineError, baseline_version,
+                                     check_shrunk, migrate_baseline)
 from repro.analysis.engine import normalize_path, parse_suppressions
+from repro.analysis.findings import FINGERPRINT_SCHEMA, compute_fingerprint
 
 #: A module that trips SPDR002 once, placed in the spider scope.
 VIRTUAL_PATH = "repro/spider/virtual.py"
@@ -123,6 +125,32 @@ def test_fingerprint_survives_line_shift():
     assert original.fingerprint() == moved.fingerprint()
 
 
+def test_fingerprint_survives_reindent():
+    # v2 fingerprints hash the whitespace-normalized snippet: wrapping
+    # the offending line in an if-block must not change its identity.
+    reindented = ("def check(a, b):\n"
+                  "    if a is not None:\n"
+                  "        return a.payload == b\n")
+    original = _analyze(OFFENDING).findings[0]
+    moved = _analyze(reindented).findings[0]
+    assert original.fingerprint() == moved.fingerprint()
+    # Internal-whitespace edits are also identity-preserving.
+    respaced = OFFENDING.replace("a.payload == b", "a.payload  ==  b")
+    assert _analyze(respaced).findings[0].fingerprint() == \
+        original.fingerprint()
+
+
+def test_fingerprint_schema_is_v2_and_deterministic():
+    assert FINGERPRINT_SCHEMA == 2
+    a = compute_fingerprint("SPDR002", "repro/spider/x.py",
+                            "  return a ==  b  ", 0)
+    b = compute_fingerprint("SPDR002", "repro/spider/x.py",
+                            "return a == b", 0)
+    assert a == b  # whitespace-normalized
+    assert a != compute_fingerprint("SPDR002", "repro/spider/x.py",
+                                    "return a == b", 1)
+
+
 # ----------------------------------------------------------------------
 # Baseline ratchet
 
@@ -182,6 +210,81 @@ def test_check_shrunk_accepts_shrinkage_and_rejects_growth(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Baseline migration (v1 -> v2)
+
+
+def _v1_baseline(tmp_path, entries):
+    path = tmp_path / "v1.json"
+    path.write_text(json.dumps({"version": 1, "findings": entries}))
+    return str(path)
+
+
+def test_v1_baseline_is_rejected_with_migration_hint(tmp_path):
+    path = _v1_baseline(tmp_path, [])
+    with pytest.raises(BaselineError, match="--migrate-baseline"):
+        load_baseline(path)
+
+
+def test_migrate_baseline_recomputes_fingerprints(tmp_path):
+    # Two identical snippets in one file: occurrences 0 and 1.
+    entries = [
+        {"fingerprint": "stale-v1-hash-a", "rule": "SPDR002",
+         "location": "repro/spider/x.py:2",
+         "line": "return a.payload == b"},
+        {"fingerprint": "stale-v1-hash-b", "rule": "SPDR002",
+         "location": "repro/spider/x.py:5",
+         "line": "return  a.payload ==  b"},
+    ]
+    path = _v1_baseline(tmp_path, entries)
+    assert migrate_baseline(path) == 2
+    assert baseline_version(path) == 2
+    fingerprints = load_baseline(path)
+    expected = {
+        compute_fingerprint("SPDR002", "repro/spider/x.py",
+                            "return a.payload == b", 0),
+        compute_fingerprint("SPDR002", "repro/spider/x.py",
+                            "return a.payload == b", 1),
+    }
+    assert fingerprints == expected
+    # Idempotent: a second run is a no-op.
+    assert migrate_baseline(path) == 0
+
+
+def test_migrated_baseline_matches_engine_findings(tmp_path):
+    # End to end: a v1 baseline written from engine metadata matches
+    # the engine's own v2 fingerprints after migration.
+    double = ("def check(a, b):\n"
+              "    return a.payload == b\n"
+              "\n"
+              "def check2(a, b):\n"
+              "    return a.payload == b\n")
+    findings = _analyze(double).findings
+    entries = [{"fingerprint": "old", "rule": f.rule_id,
+                "location": f"{f.path}:{f.line}", "line": f.line_text}
+               for f in findings]
+    path = _v1_baseline(tmp_path, entries)
+    migrate_baseline(path)
+    rerun = _analyze(double, baseline=load_baseline(path))
+    assert rerun.findings == []
+    assert rerun.baselined == 2
+
+
+def test_migrate_rejects_entries_without_metadata(tmp_path):
+    path = _v1_baseline(tmp_path, ["bare-fingerprint-string"])
+    with pytest.raises(BaselineError, match="metadata"):
+        migrate_baseline(path)
+
+
+def test_check_shrunk_treats_v1_to_v2_as_migration(tmp_path):
+    old = _v1_baseline(tmp_path, [
+        {"fingerprint": "x", "rule": "SPDR002",
+         "location": "repro/spider/x.py:2", "line": "a == b"}])
+    new = tmp_path / "new.json"
+    write_baseline(str(new), _analyze(OFFENDING).findings)
+    assert check_shrunk(old, str(new)) == []
+
+
+# ----------------------------------------------------------------------
 # Parse failures
 
 
@@ -190,4 +293,29 @@ def test_syntax_error_is_reported_not_raised():
     assert result.findings == []
     assert len(result.parse_errors) == 1
     assert "syntax error" in result.parse_errors[0]
+    assert not result.ok
+
+
+def test_nul_byte_source_is_reported_not_raised():
+    result = _analyze("x = 1\x00\n", path="repro/spider/nul.py")
+    assert result.findings == []
+    assert len(result.parse_errors) == 1
+    # 3.11 raises SyntaxError for NUL bytes; older versions ValueError.
+    # Either way it must surface as a parse error, never a crash.
+    assert result.parse_errors[0].startswith("repro/spider/nul.py:")
+    assert not result.ok
+
+
+def test_broken_files_on_disk_are_reported_not_raised(tmp_path):
+    good = tmp_path / "repro" / "spider"
+    good.mkdir(parents=True)
+    (good / "ok.py").write_text("x = 1\n")
+    (good / "syntax.py").write_text("def broken(:\n")
+    (good / "binary.py").write_bytes(b"\xff\xfe\x00 not utf8 \x80")
+    result = _engine().analyze_paths([str(tmp_path)])
+    assert result.files_analyzed == 2  # the undecodable file is skipped
+    assert len(result.parse_errors) == 2
+    joined = "\n".join(result.parse_errors)
+    assert "syntax error" in joined
+    assert "not valid UTF-8" in joined
     assert not result.ok

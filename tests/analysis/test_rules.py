@@ -1,10 +1,18 @@
-"""Per-rule self-tests: every rule fires on its trigger fixture and
-stays quiet on its clean fixture.
+"""Per-rule self-tests, table-driven over the fixture catalogue.
 
-The fixtures live under ``fixtures/<rule>/<trigger|clean>/repro/...`` —
-the engine normalizes paths to their ``repro/``-rooted suffix, so the
+Every per-file rule has three fixture variants under
+``fixtures/<rule>/<variant>/repro/...``:
+
+* ``trigger`` — at least two files that must fire exactly this rule;
+* ``clean``   — at least two files that must stay silent;
+* ``suppressed`` — at least one file whose violations are silenced
+  in place with ``# spiderlint: disable=...`` comments.
+
+The engine normalizes paths to their ``repro/``-rooted suffix, so the
 virtual modules land inside each rule's real scope and are linted by
-the same code path as the production tree.
+the same code path as the production tree.  SPDR006/008 are
+whole-program dataflow rules; their fixtures are exercised in
+``test_taint.py``.
 """
 
 from pathlib import Path
@@ -15,16 +23,18 @@ from repro.analysis import Engine, all_rules
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-#: rule id -> number of findings its trigger fixture must produce.
-EXPECTED_TRIGGER_COUNTS = {
-    "SPDR001": 6,   # time.time, urandom, Random(), choice, secrets, set-iter
-    "SPDR002": 2,   # payload ==, *_root !=
-    "SPDR003": 4,   # 3 unguarded subscripts + 1 naked struct.unpack
-    "SPDR004": 3,   # 2 undeclared literals + 1 computed name
-    "SPDR005": 2,   # missing both flags; missing slots only
+#: rule id -> (trigger finding count, suppressed-variant silence count).
+CASES = {
+    "SPDR001": (8, 2),  # clocks, entropy, global RNG, set iteration
+    "SPDR002": (4, 1),  # bare ==/!= on digest/label material
+    "SPDR003": (7, 1),  # unguarded subscripts, naked struct.unpack
+    "SPDR004": (5, 1),  # invented/computed obs metric names
+    "SPDR005": (4, 1),  # wire dataclasses missing frozen/slots
+    "SPDR007": (4, 1),  # shm leak, use-after-close, unsafe targets
 }
 
-RULE_IDS = sorted(EXPECTED_TRIGGER_COUNTS)
+RULE_IDS = sorted(CASES)
+VARIANTS = ("trigger", "clean", "suppressed")
 
 
 def _analyze(rule_id: str, variant: str):
@@ -33,12 +43,22 @@ def _analyze(rule_id: str, variant: str):
     return Engine(all_rules()).analyze_paths([str(target)])
 
 
-def test_every_rule_has_both_fixtures():
+def test_every_rule_has_all_fixture_variants():
     for rule in all_rules():
-        for variant in ("trigger", "clean"):
+        for variant in VARIANTS:
             fixture_dir = FIXTURES / rule.rule_id.lower() / variant
             assert fixture_dir.is_dir(), fixture_dir
             assert list(fixture_dir.rglob("*.py")), fixture_dir
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_trigger_fixture_has_two_files(rule_id):
+    trigger = FIXTURES / rule_id.lower() / "trigger"
+    assert len(list(trigger.rglob("*.py"))) >= 2, \
+        f"{rule_id} needs at least two flagged fixture files"
+    clean = FIXTURES / rule_id.lower() / "clean"
+    assert len(list(clean.rglob("*.py"))) >= 2, \
+        f"{rule_id} needs at least two clean fixture files"
 
 
 @pytest.mark.parametrize("rule_id", RULE_IDS)
@@ -48,7 +68,7 @@ def test_trigger_fixture_fires(rule_id):
     fired = {finding.rule_id for finding in result.findings}
     # Fixtures are single-rule pure: exactly the rule under test fires.
     assert fired == {rule_id}
-    assert len(result.findings) == EXPECTED_TRIGGER_COUNTS[rule_id]
+    assert len(result.findings) == CASES[rule_id][0]
 
 
 @pytest.mark.parametrize("rule_id", RULE_IDS)
@@ -57,6 +77,14 @@ def test_clean_fixture_is_quiet(rule_id):
     assert not result.parse_errors
     assert result.findings == []
     assert result.suppressed == 0
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_suppressed_fixture_is_silenced_not_clean(rule_id):
+    result = _analyze(rule_id, "suppressed")
+    assert not result.parse_errors
+    assert result.findings == []
+    assert result.suppressed == CASES[rule_id][1]
 
 
 @pytest.mark.parametrize("rule_id", RULE_IDS)
